@@ -1,0 +1,10 @@
+"""Ablation: instantaneous vs hold-timer failure detection.
+
+See ``src/repro/figures/ablations.py``.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_detection_delay_hold_timer(benchmark):
+    run_figure_benchmark(benchmark, "ab_detection_delay")

@@ -1,0 +1,10 @@
+"""Ablation: geographically contiguous vs scattered random failures (paper Sec 3.1).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_failure_geometry_failure_geometry(benchmark):
+    run_figure_benchmark(benchmark, "ab_failure_geometry")

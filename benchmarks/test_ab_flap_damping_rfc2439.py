@@ -1,0 +1,10 @@
+"""Ablation: RFC-2439 route flap damping vs the paper's schemes.
+
+See ``src/repro/figures/ablations.py``.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_flap_damping_rfc2439(benchmark):
+    run_figure_benchmark(benchmark, "ab_flap_damping")

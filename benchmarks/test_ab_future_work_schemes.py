@@ -1,0 +1,11 @@
+"""Ablation: the paper's Sec-5 future-work schemes, implemented and measured.
+
+Adaptive failure-extent MRAI, withdrawal-first batching, and the
+analytically derived MRAI ladder.  See ``src/repro/figures/ablations.py``.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_future_work_schemes(benchmark):
+    run_figure_benchmark(benchmark, "ab_future_work")

@@ -1,0 +1,10 @@
+"""Ablation: dynamic MRAI at all nodes vs high-degree nodes only (paper Sec 4.3).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_high_degree_only_high_degree_only_dynamic(benchmark):
+    run_figure_benchmark(benchmark, "ab_high_degree_only")

@@ -1,0 +1,10 @@
+"""Ablation: dynamic-MRAI overload monitors - queue / utilization / msgcount (paper Sec 4.3).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_monitors_dynamic_monitors(benchmark):
+    run_figure_benchmark(benchmark, "ab_monitors")

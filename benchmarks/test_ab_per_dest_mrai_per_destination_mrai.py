@@ -1,0 +1,10 @@
+"""Ablation: per-peer vs per-destination MRAI timers (paper Sec 2).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_per_dest_mrai_per_destination_mrai(benchmark):
+    run_figure_benchmark(benchmark, "ab_per_dest_mrai")

@@ -1,0 +1,10 @@
+"""Ablation: Gao-Rexford policy routing vs the paper's unrestricted setting.
+
+See ``src/repro/figures/ablations.py``.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_policy_routing_gao_rexford(benchmark):
+    run_figure_benchmark(benchmark, "ab_policy_routing")

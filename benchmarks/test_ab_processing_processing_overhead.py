@@ -1,0 +1,10 @@
+"""Ablation: processing overhead is the mechanism the schemes fix (paper Sec 5).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_processing_processing_overhead(benchmark):
+    run_figure_benchmark(benchmark, "ab_processing")

@@ -1,0 +1,10 @@
+"""Ablation: FIFO vs router-style TCP batching vs per-destination batching (paper Sec 4.4).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_tcp_batch_tcp_batching(benchmark):
+    run_figure_benchmark(benchmark, "ab_tcp_batch")

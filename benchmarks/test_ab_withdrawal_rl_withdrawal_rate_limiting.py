@@ -1,0 +1,10 @@
+"""Ablation: immediate vs rate-limited withdrawals (RFC 1771 default vs option).
+
+See ``src/repro/figures/ablations.py`` for the experiment definition.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_ab_withdrawal_rl_withdrawal_rate_limiting(benchmark):
+    run_figure_benchmark(benchmark, "ab_withdrawal_rl")

@@ -1,0 +1,11 @@
+"""Fig 1: convergence delay vs failure size for three MRAIs.
+
+See ``src/repro/figures/fig01.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig01_delay_vs_failure_size(benchmark):
+    run_figure_benchmark(benchmark, "fig01")

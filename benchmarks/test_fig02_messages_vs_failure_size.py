@@ -1,0 +1,11 @@
+"""Fig 2: update-message count vs failure size for three MRAIs.
+
+See ``src/repro/figures/fig02.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig02_messages_vs_failure_size(benchmark):
+    run_figure_benchmark(benchmark, "fig02")

@@ -1,0 +1,11 @@
+"""Fig 3: V-shaped delay-vs-MRAI curves; optimum grows with failure size.
+
+See ``src/repro/figures/fig03.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig03_delay_vs_mrai(benchmark):
+    run_figure_benchmark(benchmark, "fig03")

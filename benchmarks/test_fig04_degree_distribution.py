@@ -1,0 +1,11 @@
+"""Fig 4: optimal MRAI tracks the high-degree nodes (50-50/70-30/85-15).
+
+See ``src/repro/figures/fig04.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig04_degree_distribution(benchmark):
+    run_figure_benchmark(benchmark, "fig04")

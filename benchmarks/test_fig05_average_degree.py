@@ -1,0 +1,11 @@
+"""Fig 5: higher average degree -> larger optimal MRAI and delay.
+
+See ``src/repro/figures/fig05.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig05_average_degree(benchmark):
+    run_figure_benchmark(benchmark, "fig05")

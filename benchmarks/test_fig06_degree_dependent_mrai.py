@@ -1,0 +1,11 @@
+"""Fig 6: degree-dependent MRAI vs constants.
+
+See ``src/repro/figures/fig06.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig06_degree_dependent_mrai(benchmark):
+    run_figure_benchmark(benchmark, "fig06")

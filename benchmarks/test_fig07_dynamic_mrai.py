@@ -1,0 +1,11 @@
+"""Fig 7: dynamic MRAI tracks the per-failure-size optimum.
+
+See ``src/repro/figures/fig07.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig07_dynamic_mrai(benchmark):
+    run_figure_benchmark(benchmark, "fig07")

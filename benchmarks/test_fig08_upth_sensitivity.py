@@ -1,0 +1,11 @@
+"""Fig 8: dynamic MRAI sensitivity to upTh (downTh=0).
+
+See ``src/repro/figures/fig08.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig08_upth_sensitivity(benchmark):
+    run_figure_benchmark(benchmark, "fig08")

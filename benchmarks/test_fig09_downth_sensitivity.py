@@ -1,0 +1,11 @@
+"""Fig 9: dynamic MRAI sensitivity to downTh (upTh=0.65).
+
+See ``src/repro/figures/fig09.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig09_downth_sensitivity(benchmark):
+    run_figure_benchmark(benchmark, "fig09")

@@ -1,0 +1,11 @@
+"""Fig 10: batching scheme convergence delay.
+
+See ``src/repro/figures/fig10.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig10_batching_delay(benchmark):
+    run_figure_benchmark(benchmark, "fig10")

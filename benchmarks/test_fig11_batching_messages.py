@@ -1,0 +1,11 @@
+"""Fig 11: batching scheme message counts.
+
+See ``src/repro/figures/fig11.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig11_batching_messages(benchmark):
+    run_figure_benchmark(benchmark, "fig11")

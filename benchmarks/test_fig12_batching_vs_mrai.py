@@ -1,0 +1,11 @@
+"""Fig 12: batching helps only below the optimal MRAI.
+
+See ``src/repro/figures/fig12.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig12_batching_vs_mrai(benchmark):
+    run_figure_benchmark(benchmark, "fig12")

@@ -1,0 +1,11 @@
+"""Fig 13: schemes on multi-router / Internet-derived topologies.
+
+See ``src/repro/figures/fig13.py`` for the experiment definition and
+DESIGN.md for the experiment index entry.
+"""
+
+from repro.figures.bench import run_figure_benchmark
+
+
+def test_fig13_realistic_topologies(benchmark):
+    run_figure_benchmark(benchmark, "fig13")

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the figure benchmarks (one long deterministic computation each),
+these are classic multi-round pytest benchmarks: event-queue throughput,
+timer churn, and a complete small convergence experiment.  They track the
+cost of the machinery every figure rests on.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.mrai import ConstantMRAI
+from repro.bgp.network import BGPNetwork
+from repro.sim.engine import Simulator
+from repro.sim.timers import Jitter, Timer
+from repro.topology.skewed import skewed_topology
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run cost for 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_engine_cancellation_heavy(benchmark):
+    """Cost of a cancel-heavy workload (MRAI restarts look like this)."""
+
+    def run():
+        sim = Simulator()
+        for i in range(5_000):
+            event = sim.schedule(1.0 + i, lambda: None)
+            sim.cancel(event)
+        keep = sim.schedule(2.0, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 1
+
+
+def test_timer_restart_churn(benchmark):
+    """Repeated Timer.start() — the dominant per-update control cost."""
+
+    def run():
+        sim = Simulator(seed=3)
+        timer = Timer(sim, lambda: None, jitter=Jitter(), rng=sim.rng.get("j"))
+        for __ in range(2_000):
+            timer.start(1.0)
+        timer.stop()
+        sim.run()
+        return True
+
+    assert benchmark(run)
+
+
+def test_small_convergence_experiment(benchmark):
+    """A complete 20-node warm-up + failure + reconvergence cycle."""
+
+    topo = skewed_topology(20, seed=2)
+
+    def run():
+        net = BGPNetwork(topo, BGPConfig(mrai_policy=ConstantMRAI(0.5)), seed=1)
+        net.start()
+        net.run_until_quiet()
+        net.fail_nodes([topo.nodes_by_distance(500, 500)[0]])
+        net.run_until_quiet()
+        return net.sim.events_executed
+
+    events = benchmark(run)
+    assert events > 0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment in miniature.
+
+Sweeps failure size (1 node up to 20% of the network) under five schemes:
+
+* constant MRAI 0.5 s   — great for small failures, melts down for large
+* constant MRAI 2.25 s  — steady but slow for small failures
+* degree-dependent MRAI — fast low-degree nodes, slow high-degree nodes
+* dynamic MRAI          — contribution #1: adapt MRAI to measured overload
+* batching @ 0.5 s      — contribution #2: per-destination update batching
+
+and prints the delay/message tables that correspond to Figs 1, 6, 7 and 10.
+
+Run:  python examples/large_failure_study.py          (about a minute)
+"""
+
+from repro import (
+    ConstantMRAI,
+    DegreeDependentMRAI,
+    DynamicMRAI,
+    ExperimentSpec,
+    failure_size_sweep,
+    skewed_topology,
+)
+from repro.analysis.report import format_series_table
+
+NODES = 60
+FRACTIONS = (1.0 / NODES, 0.05, 0.10, 0.20)
+SEEDS = (1,)
+
+
+def topology_factory(seed: int):
+    return skewed_topology(NODES, seed=seed)
+
+
+def main() -> None:
+    schemes = {
+        "MRAI=0.5s": ExperimentSpec(mrai=ConstantMRAI(0.5)),
+        "MRAI=2.25s": ExperimentSpec(mrai=ConstantMRAI(2.25)),
+        "degree 0.5/2.25": ExperimentSpec(
+            mrai=DegreeDependentMRAI(0.5, 2.25)
+        ),
+        "dynamic": ExperimentSpec(mrai=DynamicMRAI()),
+        "batching@0.5": ExperimentSpec(
+            mrai=ConstantMRAI(0.5), queue_discipline="dest_batch"
+        ),
+    }
+    series = []
+    for label, spec in schemes.items():
+        print(f"running {label} ...")
+        series.append(
+            failure_size_sweep(
+                topology_factory, spec, FRACTIONS, SEEDS, label=label
+            )
+        )
+    print()
+    print(
+        format_series_table(
+            series, metric="delay", title="Convergence delay (seconds)"
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            series, metric="messages", title="Update messages after failure"
+        )
+    )
+    print()
+    low, high, degree, dynamic, batching = series
+    largest = FRACTIONS[-1]
+    print("What the paper predicts, observed here:")
+    print(
+        f"  - low MRAI blows up at {largest:.0%} failures: "
+        f"{low.delay_at(largest):.1f}s vs {high.delay_at(largest):.1f}s "
+        f"for the high constant"
+    )
+    print(
+        f"  - batching cuts the low-MRAI meltdown by "
+        f"{low.delay_at(largest) / batching.delay_at(largest):.1f}x"
+    )
+    print(
+        f"  - dynamic MRAI stays near the best constant at every size "
+        f"(largest-failure delay {dynamic.delay_at(largest):.1f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

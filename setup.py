@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so the legacy
+editable-install path (``pip install -e . --no-use-pep517``) works in
+offline environments that lack the ``wheel`` package required by PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

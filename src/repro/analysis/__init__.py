@@ -1,0 +1,43 @@
+"""Result analysis and reporting.
+
+Turns :class:`~repro.core.sweep.Series` objects into the text tables the
+benchmark harness prints — the same rows/series the paper's figures plot —
+plus small helpers for shape assertions (V-shape detection, crossover
+location) used by the benchmark suite and EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import (
+    format_figure,
+    format_series_table,
+    series_to_rows,
+)
+from repro.analysis.export import (
+    save_series,
+    series_to_csv,
+    series_to_json,
+    series_to_records,
+)
+from repro.analysis.shapes import (
+    crossover_point,
+    is_v_shaped,
+    monotone_increasing,
+    optimal_x,
+)
+from repro.analysis.timeseries import Probe, Sample, sparkline
+
+__all__ = [
+    "Probe",
+    "Sample",
+    "crossover_point",
+    "format_figure",
+    "format_series_table",
+    "is_v_shaped",
+    "monotone_increasing",
+    "optimal_x",
+    "save_series",
+    "series_to_csv",
+    "series_to_json",
+    "series_to_records",
+    "series_to_rows",
+    "sparkline",
+]

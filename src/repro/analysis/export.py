@@ -1,0 +1,108 @@
+"""Machine-readable export of sweep results.
+
+The text tables are for humans; downstream plotting (matplotlib, gnuplot,
+a spreadsheet) wants CSV or JSON.  Exports carry both metrics (delay and
+message count) plus the trial count and the delay's spread, so error bars
+can be drawn from multi-trial runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.core.sweep import Series
+
+
+def series_to_records(series_list: Sequence[Series]) -> list[dict]:
+    """Flatten series into one record per (series, x) point."""
+    records = []
+    for series in series_list:
+        for point in series.points:
+            delay_stats = point.result.delay
+            message_stats = point.result.messages
+            records.append(
+                {
+                    "series": series.label,
+                    "x_name": series.x_name,
+                    "x": point.x,
+                    "trials": point.result.n,
+                    "delay_mean": delay_stats.mean,
+                    "delay_stdev": delay_stats.stdev,
+                    "delay_min": delay_stats.minimum,
+                    "delay_max": delay_stats.maximum,
+                    "messages_mean": message_stats.mean,
+                    "messages_stdev": message_stats.stdev,
+                }
+            )
+    return records
+
+
+CSV_FIELDS = [
+    "series",
+    "x_name",
+    "x",
+    "trials",
+    "delay_mean",
+    "delay_stdev",
+    "delay_min",
+    "delay_max",
+    "messages_mean",
+    "messages_stdev",
+]
+
+
+def series_to_csv(series_list: Sequence[Series]) -> str:
+    """Render series as CSV text (header + one row per point)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for record in series_to_records(series_list):
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def series_to_json(series_list: Sequence[Series], indent: int = 2) -> str:
+    """Render series as a JSON document."""
+    return json.dumps(
+        {"records": series_to_records(series_list)}, indent=indent
+    )
+
+
+def save_series(
+    series_list: Sequence[Series],
+    path: Union[str, Path],
+) -> None:
+    """Write series to ``path``; format chosen by suffix (.csv / .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(series_to_csv(series_list), encoding="utf-8")
+    elif path.suffix == ".json":
+        path.write_text(series_to_json(series_list) + "\n", encoding="utf-8")
+    else:
+        raise ValueError(
+            f"unknown export format {path.suffix!r}; use .csv or .json"
+        )
+
+
+def figure_to_files(figure_output, directory: Union[str, Path]) -> list[Path]:
+    """Export one :class:`FigureOutput` as CSV + JSON + the text render.
+
+    Returns the written paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = directory / figure_output.figure_id
+    written = []
+    for suffix, content in (
+        (".csv", series_to_csv(figure_output.series)),
+        (".json", series_to_json(figure_output.series) + "\n"),
+        (".txt", figure_output.render() + "\n"),
+    ):
+        path = base.with_suffix(suffix)
+        path.write_text(content, encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,79 @@
+"""Text rendering of sweep results.
+
+The benchmark for each figure prints one of these tables; EXPERIMENTS.md
+records them next to the paper's reported behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.sweep import Series
+
+
+def series_to_rows(
+    series_list: Sequence[Series],
+    metric: str = "delay",
+) -> Tuple[List[str], List[List[str]]]:
+    """Tabulate several series over the union of their x values.
+
+    Returns (header, rows); the first column is the swept parameter, one
+    column per series.  ``metric`` is ``"delay"`` (seconds) or
+    ``"messages"``.
+    """
+    if metric not in ("delay", "messages"):
+        raise ValueError(f"unknown metric {metric!r}")
+    xs = sorted({x for s in series_list for x in s.xs})
+    header = [series_list[0].x_name if series_list else "x"]
+    header += [s.label for s in series_list]
+    rows: List[List[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in series_list:
+            try:
+                value = s.delay_at(x) if metric == "delay" else s.messages_at(x)
+                row.append(f"{value:.2f}" if metric == "delay" else f"{value:.0f}")
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return header, rows
+
+
+def format_series_table(
+    series_list: Sequence[Series],
+    metric: str = "delay",
+    title: str = "",
+) -> str:
+    """A fixed-width text table for one metric across series."""
+    header, rows = series_to_rows(series_list, metric)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: Iterable[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(header))
+    lines.append(fmt("-" * w for w in widths))
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def format_figure(
+    figure_id: str,
+    caption: str,
+    series_list: Sequence[Series],
+    metrics: Sequence[str] = ("delay",),
+) -> str:
+    """Full text block for one reproduced figure."""
+    blocks = [f"=== {figure_id}: {caption} ==="]
+    unit = {"delay": "convergence delay (s)", "messages": "update messages"}
+    for metric in metrics:
+        blocks.append(
+            format_series_table(series_list, metric, title=f"[{unit[metric]}]")
+        )
+    return "\n\n".join(blocks)

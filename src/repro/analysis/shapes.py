@@ -1,0 +1,106 @@
+"""Curve-shape predicates.
+
+The reproduction targets *shapes*, not absolute numbers (our substrate is a
+simulator, not the authors' testbed): V-shaped delay-vs-MRAI curves, optima
+that move right with failure size, crossovers between schemes.  These
+helpers express those shapes as assertions the benchmark suite can check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def optimal_x(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The x at which y is minimal (first one on ties)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    best = min(range(len(xs)), key=lambda i: (ys[i], xs[i]))
+    return xs[best]
+
+
+def is_v_shaped(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    tolerance: float = 0.10,
+) -> bool:
+    """Does the curve fall to an interiorish minimum and rise after it?
+
+    ``tolerance`` forgives noise: a point may rise above the running
+    minimum by up to ``tolerance`` fraction on the way down, and dip below
+    the running maximum similarly on the way up.  A curve whose minimum is
+    at either extreme endpoint still counts as V-shaped only if both arms
+    exist (i.e. it does not — we require an interior minimum).
+    """
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ValueError("need at least 3 equal-length points")
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
+    sorted_ys = [ys[i] for i in order]
+    min_index = min(range(len(sorted_ys)), key=lambda i: sorted_ys[i])
+    if min_index == 0 or min_index == len(sorted_ys) - 1:
+        return False
+    # Descending arm: no point rises appreciably before the minimum.
+    running = sorted_ys[0]
+    for y in sorted_ys[1 : min_index + 1]:
+        if y > running * (1 + tolerance):
+            return False
+        running = min(running, y)
+    # Ascending arm: no point drops appreciably after the minimum.
+    running = sorted_ys[min_index]
+    for y in sorted_ys[min_index + 1 :]:
+        if y < running * (1 - tolerance):
+            return False
+        running = max(running, y)
+    return True
+
+
+def monotone_increasing(
+    ys: Sequence[float], tolerance: float = 0.10
+) -> bool:
+    """Approximately non-decreasing (each dip bounded by ``tolerance``)."""
+    if not ys:
+        raise ValueError("empty sequence")
+    running = ys[0]
+    for y in ys[1:]:
+        if y < running * (1 - tolerance):
+            return False
+        running = max(running, y)
+    return True
+
+
+def crossover_point(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> Optional[float]:
+    """Smallest x at which curve A stops beating curve B (None if never).
+
+    Used for statements like "low MRAI wins for small failures, loses for
+    large ones": the crossover is where the sign of (A - B) flips.
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)) or not xs:
+        raise ValueError("sequences must be equal-length and non-empty")
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
+    sign: Optional[bool] = None
+    for i in order:
+        a_wins = ys_a[i] < ys_b[i]
+        if sign is None:
+            sign = a_wins
+        elif a_wins != sign:
+            return xs[i]
+    return None
+
+
+def ratio_at(
+    xs: Sequence[float],
+    ys_num: Sequence[float],
+    ys_den: Sequence[float],
+    x: float,
+) -> float:
+    """ys_num / ys_den at a given x (for "factor of 3 or more" claims)."""
+    for i, xi in enumerate(xs):
+        if xi == x:
+            if ys_den[i] == 0:
+                raise ZeroDivisionError(f"denominator is zero at x={x}")
+            return ys_num[i] / ys_den[i]
+    raise KeyError(f"no point at x={x}")

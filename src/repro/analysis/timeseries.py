@@ -1,0 +1,174 @@
+"""Convergence-timeline instrumentation.
+
+The paper's arguments are about *mechanisms*: queues build up at
+high-degree nodes, invalid routes circulate until superseded, the dynamic
+scheme's MRAI levels climb and fall.  A :class:`Probe` samples a running
+network at a fixed interval and exposes those time series, so examples and
+analyses can show the mechanism, not just the end-to-end delay.
+
+Sampling is pure observation: the probe schedules its own events but never
+touches protocol state, and it detaches automatically once the network is
+quiescent (so it does not keep the simulation alive forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bgp.network import BGPNetwork
+from repro.core.dynamic_mrai import DynamicController
+from repro.core.validation import count_invalid_routes
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One snapshot of network-wide convergence state."""
+
+    time: float
+    total_queued: int
+    max_queue: int
+    max_queue_node: Optional[int]
+    busy_nodes: int
+    updates_sent: int
+    invalid_routes: int
+    #: Histogram of dynamic-MRAI ladder levels, level -> node count
+    #: (empty when no dynamic controllers are present).
+    mrai_levels: Dict[int, int] = field(default_factory=dict)
+
+
+class Probe:
+    """Periodic sampler attached to a :class:`BGPNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The network to observe.
+    interval:
+        Sampling period in simulated seconds.
+    track_invalid_routes:
+        Whether to compute the invalid-route count per sample (walks every
+        Loc-RIB; cheap at experiment scale, disable for very large runs).
+
+    Usage::
+
+        probe = Probe(network, interval=0.25)
+        probe.start()
+        network.fail_nodes(...)
+        network.run_until_quiet()
+        timeline = probe.samples
+    """
+
+    def __init__(
+        self,
+        network: BGPNetwork,
+        interval: float = 0.25,
+        track_invalid_routes: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.network = network
+        self.interval = interval
+        self.track_invalid_routes = track_invalid_routes
+        self.samples: List[Sample] = []
+        self._armed = False
+
+    def start(self) -> None:
+        """Begin sampling: a baseline snapshot now, then periodic samples.
+
+        The first periodic sample is scheduled unconditionally so a probe
+        can be armed while the network is momentarily quiet (e.g. between
+        warm-up and failure injection) without detaching prematurely.
+        """
+        if self._armed:
+            return
+        self._armed = True
+        self.samples.append(self._snapshot())
+        self.network.sim.schedule(self.interval, self._take_sample)
+
+    def stop(self) -> None:
+        """Stop after the current pending sample (idempotent)."""
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def _take_sample(self) -> None:
+        if not self._armed:
+            return
+        net = self.network
+        self.samples.append(self._snapshot())
+        # Detach at quiescence: once nothing else is scheduled, sampling
+        # again would only observe the same silence forever.
+        if net.sim.pending_events == 0 and net.is_quiescent():
+            self._armed = False
+            return
+        net.sim.schedule(self.interval, self._take_sample)
+
+    def _snapshot(self) -> Sample:
+        net = self.network
+        total = 0
+        worst = 0
+        worst_node: Optional[int] = None
+        busy = 0
+        levels: Dict[int, int] = {}
+        for speaker in net.alive_speakers():
+            qlen = speaker.queue_length
+            total += qlen
+            if qlen > worst:
+                worst = qlen
+                worst_node = speaker.node_id
+            if speaker.busy:
+                busy += 1
+            controller = speaker.controller
+            if isinstance(controller, DynamicController):
+                levels[controller.level] = levels.get(controller.level, 0) + 1
+        invalid = (
+            count_invalid_routes(net) if self.track_invalid_routes else 0
+        )
+        return Sample(
+            time=net.sim.now,
+            total_queued=total,
+            max_queue=worst,
+            max_queue_node=worst_node,
+            busy_nodes=busy,
+            updates_sent=net.counters["updates_sent"],
+            invalid_routes=invalid,
+            mrai_levels=levels,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived series
+    # ------------------------------------------------------------------
+    def series(self, attr: str) -> List[float]:
+        """One attribute across all samples, e.g. ``series("max_queue")``."""
+        return [getattr(s, attr) for s in self.samples]
+
+    def peak(self, attr: str) -> float:
+        values = self.series(attr)
+        return max(values) if values else 0.0
+
+    def time_to_drain(self, attr: str = "total_queued") -> Optional[float]:
+        """Time from the first nonzero sample of ``attr`` back to zero."""
+        first_nonzero = None
+        for sample in self.samples:
+            value = getattr(sample, attr)
+            if first_nonzero is None and value > 0:
+                first_nonzero = sample.time
+            elif first_nonzero is not None and value == 0:
+                return sample.time - first_nonzero
+        return None
+
+
+def sparkline(values: List[float], width: int = 60) -> str:
+    """Render a series as a one-line unicode sparkline (for examples)."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        # Downsample by taking the max of each bucket (peaks matter here).
+        bucket = len(values) / width
+        values = [
+            max(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    top = max(values) or 1.0
+    return "".join(blocks[min(8, int(v / top * 8))] for v in values)

@@ -1,0 +1,130 @@
+"""Route flap damping (RFC 2439).
+
+The mechanism the operator community actually deployed against update
+storms in the paper's era — and the natural comparison point for its
+schemes.  Each (peer, destination) slot accumulates a *penalty*:
+withdrawals and re-advertisements add fixed amounts, and the penalty
+decays exponentially with a configured half-life.  While the penalty
+exceeds the *cut* threshold the route is **suppressed**: stored in
+Adj-RIB-In but ineligible for selection (and hence never re-advertised);
+once the penalty decays below the *reuse* threshold the route becomes
+eligible again.
+
+The well-known pathology (Mao et al., SIGCOMM 2002) is that a *single*
+failure event triggers path exploration, exploration looks like flapping,
+and damping then suppresses perfectly good recovery routes — lengthening
+convergence precisely when the paper's schemes shorten it.  The
+``ab_flap_damping`` ablation reproduces that comparison.
+
+Defaults follow RFC 2439 / common Cisco practice, with the half-life
+scaled down (seconds instead of minutes) to match the simulation's
+time scale; pass your own :class:`DampingConfig` for RFC wall-clock
+values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DampingConfig:
+    """Flap-damping parameters.
+
+    Penalties are in RFC 2439's customary units (a withdrawal costs 1000).
+    """
+
+    #: Penalty half-life in (simulated) seconds.
+    half_life: float = 15.0
+    #: Suppress the route when the penalty exceeds this.
+    cut_threshold: float = 2000.0
+    #: Un-suppress when the penalty decays below this.
+    reuse_threshold: float = 750.0
+    #: Penalty added per withdrawal.
+    withdrawal_penalty: float = 1000.0
+    #: Penalty added per re-advertisement / attribute change.
+    readvertisement_penalty: float = 500.0
+    #: Penalty ceiling (RFC 2439's "maximum suppress" equivalent).
+    max_penalty: float = 12000.0
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if not (0 < self.reuse_threshold < self.cut_threshold):
+            raise ValueError("need 0 < reuse_threshold < cut_threshold")
+        if self.withdrawal_penalty < 0 or self.readvertisement_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+        if self.max_penalty < self.cut_threshold:
+            raise ValueError("max_penalty must be at least cut_threshold")
+
+    @property
+    def decay_rate(self) -> float:
+        """Exponential decay constant: penalty(t) = p0 * exp(-rate * t)."""
+        return math.log(2.0) / self.half_life
+
+    def reuse_delay(self, penalty: float) -> float:
+        """Seconds until ``penalty`` decays to the reuse threshold."""
+        if penalty <= self.reuse_threshold:
+            return 0.0
+        return math.log(penalty / self.reuse_threshold) / self.decay_rate
+
+
+class DampingState:
+    """Penalty accumulator for one (peer, destination) slot."""
+
+    __slots__ = ("config", "penalty", "last_update", "suppressed")
+
+    def __init__(self, config: DampingConfig) -> None:
+        self.config = config
+        self.penalty = 0.0
+        self.last_update = 0.0
+        self.suppressed = False
+
+    def current_penalty(self, now: float) -> float:
+        """Penalty decayed to ``now`` (does not mutate state)."""
+        elapsed = max(0.0, now - self.last_update)
+        return self.penalty * math.exp(-self.config.decay_rate * elapsed)
+
+    def _decay_to(self, now: float) -> None:
+        self.penalty = self.current_penalty(now)
+        self.last_update = now
+
+    def record_withdrawal(self, now: float) -> bool:
+        """Fold in a withdrawal; returns the new suppressed flag."""
+        return self._add(self.config.withdrawal_penalty, now)
+
+    def record_readvertisement(self, now: float) -> bool:
+        """Fold in a (re-)advertisement; returns the new suppressed flag."""
+        return self._add(self.config.readvertisement_penalty, now)
+
+    def _add(self, amount: float, now: float) -> bool:
+        self._decay_to(now)
+        self.penalty = min(self.config.max_penalty, self.penalty + amount)
+        if self.penalty > self.config.cut_threshold:
+            self.suppressed = True
+        return self.suppressed
+
+    def maybe_reuse(self, now: float) -> bool:
+        """Clear suppression if the penalty has decayed enough.
+
+        Returns True when the route just became reusable.
+        """
+        if not self.suppressed:
+            return False
+        if self.current_penalty(now) < self.config.reuse_threshold:
+            self._decay_to(now)
+            self.suppressed = False
+            return True
+        return False
+
+    def time_until_reuse(self, now: float) -> Optional[float]:
+        """Seconds until reuse, or None when not suppressed."""
+        if not self.suppressed:
+            return None
+        return self.config.reuse_delay(self.current_penalty(now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "SUPPRESSED" if self.suppressed else "ok"
+        return f"<DampingState penalty={self.penalty:.0f} {state}>"

@@ -1,0 +1,53 @@
+"""BGP UPDATE messages.
+
+Updates are modeled at per-destination granularity — one message announces
+or withdraws exactly one destination — which matches SSFNet's accounting and
+the way the paper counts "update messages".  An announcement carries the
+sender's full AS path for the destination; a withdrawal carries ``path =
+None``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class Update:
+    """One BGP UPDATE for one destination.
+
+    Attributes
+    ----------
+    dest:
+        Destination prefix identifier (the originating AS number).
+    path:
+        AS path as advertised by the sender (the sender's AS first for eBGP
+        announcements), or ``None`` for a withdrawal.
+    sender:
+        Node id of the sending router.
+    sent_at:
+        Simulation time at which the message was put on the wire; used for
+        latency accounting and stale-update bookkeeping in the batching
+        scheme.
+    """
+
+    __slots__ = ("dest", "path", "sender", "sent_at")
+
+    def __init__(
+        self,
+        dest: int,
+        path: Optional[Tuple[int, ...]],
+        sender: int,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.dest = dest
+        self.path = path
+        self.sender = sender
+        self.sent_at = sent_at
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.path is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "WITHDRAW" if self.is_withdrawal else f"PATH={self.path}"
+        return f"<Update dest={self.dest} from={self.sender} {kind}>"

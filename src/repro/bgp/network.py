@@ -1,0 +1,316 @@
+"""Network assembly: topology + config -> a running BGP system.
+
+:class:`BGPNetwork` instantiates one speaker per router, wires eBGP sessions
+along inter-AS links and an iBGP full mesh inside every multi-router AS,
+originates one prefix per AS, and provides the run/failure/measurement
+surface the experiment layer drives:
+
+* ``start()`` + ``run_until_quiet()`` — initial convergence (warm-up);
+* ``fail_nodes(...)`` — kill routers, tear down their sessions at T0;
+* ``last_activity`` — timestamp of the most recent routing activity, which
+  is what convergence delay is measured from;
+* ``counters`` — network-wide message/route accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.messages import Update
+from repro.bgp.speaker import BGPSpeaker
+from repro.sim.engine import Simulator
+from repro.sim.trace import Counter, Tracer
+from repro.topology.graph import DEFAULT_LINK_DELAY, Topology
+
+
+class BGPNetwork:
+    """A simulated network of BGP speakers over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[BGPConfig] = None,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        ibgp_delay: float = DEFAULT_LINK_DELAY,
+    ) -> None:
+        self.topology = topology
+        self.config = config if config is not None else BGPConfig()
+        self.sim = Simulator(seed=seed, tracer=tracer)
+        self.counters = Counter()
+        self.last_activity = 0.0
+        self.speakers: Dict[int, BGPSpeaker] = {}
+        self._failed: Set[int] = set()
+        #: UPDATE messages currently on the wire (explicit-mode convergence
+        #: detection needs this, since the event queue never drains there).
+        self._in_flight_updates = 0
+        self._build(ibgp_delay)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, ibgp_delay: float) -> None:
+        topo = self.topology
+        for node_id in topo.node_ids():
+            router = topo.routers[node_id]
+            degree = topo.degree(node_id)
+            controller = self.config.mrai_policy.controller_for(
+                node_id, degree
+            )
+            self.speakers[node_id] = BGPSpeaker(
+                network=self,
+                node_id=node_id,
+                asn=router.asn,
+                config=self.config,
+                controller=controller,
+            )
+        # eBGP sessions along inter-AS links (and, in flat topologies,
+        # every link is inter-AS).
+        for link in topo.links:
+            as_a = topo.as_of(link.a)
+            as_b = topo.as_of(link.b)
+            if link.kind == "inter_as" and as_a != as_b:
+                self.speakers[link.a].add_peer(
+                    link.b, as_b, link.delay, ebgp=True
+                )
+                self.speakers[link.b].add_peer(
+                    link.a, as_a, link.delay, ebgp=True
+                )
+        # iBGP full mesh inside every multi-router AS.
+        for asn in topo.as_numbers():
+            members = topo.as_members(asn)
+            if len(members) < 2:
+                continue
+            for a, b in itertools.combinations(members, 2):
+                self.speakers[a].add_peer(b, asn, ibgp_delay, ebgp=False)
+                self.speakers[b].add_peer(a, asn, ibgp_delay, ebgp=False)
+
+    # ------------------------------------------------------------------
+    # Message plane
+    # ------------------------------------------------------------------
+    def transmit(
+        self, sender_id: int, receiver_id: int, msg: Update, delay: float
+    ) -> None:
+        """Put one update on the wire (called by speakers)."""
+        self.counters.incr("updates_sent")
+        if msg.is_withdrawal:
+            self.counters.incr("withdrawals_sent")
+        if self.sim.tracer.enabled:
+            self.sim.tracer.emit(
+                self.sim.now,
+                "withdraw_sent" if msg.is_withdrawal else "update_sent",
+                sender_id,
+                msg.dest,
+                receiver_id,
+                msg.path,
+            )
+        self.note_activity()
+        self._in_flight_updates += 1
+        self.sim.schedule(delay, self._deliver, receiver_id, msg)
+
+    def _deliver(self, receiver_id: int, msg: Update) -> None:
+        self._in_flight_updates -= 1
+        speaker = self.speakers[receiver_id]
+        if not speaker.alive:
+            self.counters.incr("updates_lost")
+            return
+        speaker.receive(msg)
+
+    def transmit_session(
+        self, sender_id: int, receiver_id: int, msg, delay: float
+    ) -> None:
+        """Put a session (OPEN/KEEPALIVE/NOTIFICATION) message on the wire."""
+        self.counters.incr("session_messages_sent")
+        self.sim.schedule(delay, self._deliver_session, receiver_id, msg)
+
+    def _deliver_session(self, receiver_id: int, msg) -> None:
+        speaker = self.speakers[receiver_id]
+        if speaker.alive:
+            speaker.receive_session(msg)
+
+    def note_activity(self) -> None:
+        """Record routing activity at the current simulation time."""
+        if self.sim.now > self.last_activity:
+            self.last_activity = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Originate every AS's prefix at every one of its routers.
+
+        In explicit-session mode this also kicks off session
+        establishment; route exchange begins as sessions come up.
+        """
+        for speaker in self.speakers.values():
+            if speaker.alive:
+                speaker.originate(speaker.asn)
+        if self.config.session is not None:
+            for speaker in self.speakers.values():
+                if speaker.alive:
+                    speaker.start_sessions()
+
+    def run_until_quiet(
+        self,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation to quiescence; returns the stop time.
+
+        Only meaningful in implicit-session mode — explicit sessions keep
+        the event queue alive forever; use :meth:`run_until_converged`.
+        """
+        return self.sim.run(until=max_time, max_events=max_events)
+
+    def routing_quiet(self) -> bool:
+        """No updates in flight and no speaker holding routing work.
+
+        Unlike :meth:`is_quiescent` this ignores session housekeeping
+        (keepalive timers), so it works in explicit-session mode.
+        """
+        if self._in_flight_updates:
+            return False
+        return not any(s.has_pending_work() for s in self.alive_speakers())
+
+    def run_until_converged(
+        self,
+        idle_window: float = 2.0,
+        max_time: float = 3600.0,
+    ) -> float:
+        """Run until no routing activity occurs for ``idle_window`` seconds.
+
+        The explicit-session replacement for quiescence detection: returns
+        the time of the last routing activity.  ``max_time`` is an
+        absolute simulation-time ceiling (a safety net).
+        """
+        if idle_window <= 0:
+            raise ValueError("idle_window must be positive")
+        while True:
+            horizon = max(self.last_activity, self.sim.now) + idle_window
+            if horizon > max_time:
+                horizon = max_time
+            self.sim.run(until=horizon)
+            settled = (
+                self.sim.now >= self.last_activity + idle_window
+                and self.routing_quiet()
+            )
+            if settled or self.sim.now >= max_time:
+                return self.last_activity
+            if self.sim.pending_events == 0:
+                # Fully quiescent (implicit mode): nothing more can happen.
+                return self.last_activity
+
+    def fail_nodes(
+        self,
+        node_ids: Iterable[int],
+        detection_delay: float = 0.0,
+        detection_jitter: float = 0.0,
+    ) -> float:
+        """Fail ``node_ids`` (and all their sessions) at the current time.
+
+        By default surviving neighbors detect the dead sessions
+        immediately — the paper's convergence clock starts at the failure
+        instant.  ``detection_delay`` models hold-timer-based detection
+        instead: each surviving neighbor notices after
+        ``detection_delay + Uniform(0, detection_jitter)`` seconds (BGP
+        speakers' hold timers are not synchronized).  In explicit-session
+        mode neighbors are not notified at all: their hold timers expire
+        on their own once the dead node's keepalives stop.  Returns the
+        failure time T0.
+        """
+        if detection_delay < 0 or detection_jitter < 0:
+            raise ValueError("detection delay/jitter must be non-negative")
+        t0 = self.sim.now
+        failing = sorted(set(node_ids))
+        for node_id in failing:
+            speaker = self.speakers[node_id]
+            if speaker.alive:
+                speaker.fail()
+                self._failed.add(node_id)
+        if self.config.session is not None:
+            # Detection emerges from hold-timer expiry.
+            return t0
+        detect_rng = self.sim.rng.get("failure-detection")
+        for node_id in failing:
+            for peer_id in self.speakers[node_id].peers:
+                survivor = self.speakers[peer_id]
+                if not survivor.alive:
+                    continue
+                if detection_delay == 0.0 and detection_jitter == 0.0:
+                    survivor.peer_down(node_id)
+                else:
+                    delay = detection_delay + detect_rng.uniform(
+                        0.0, detection_jitter
+                    )
+                    self.sim.schedule(delay, survivor.peer_down, node_id)
+        return t0
+
+    def recover_nodes(self, node_ids: Iterable[int]) -> float:
+        """Bring failed routers back into service at the current time.
+
+        Control-plane state is cold (see :meth:`BGPSpeaker.revive`).  In
+        implicit-session mode, sessions to live neighbors come up
+        immediately and both ends exchange full tables; in explicit mode
+        the OPEN handshake is restarted and the table exchange follows
+        establishment.  Returns the recovery time.
+        """
+        t0 = self.sim.now
+        recovering = sorted(set(node_ids))
+        for node_id in recovering:
+            speaker = self.speakers[node_id]
+            if not speaker.alive:
+                speaker.revive()
+                self._failed.discard(node_id)
+                self.counters.incr("nodes_recovered")
+        for node_id in recovering:
+            speaker = self.speakers[node_id]
+            for peer_id in speaker.peers:
+                neighbor = self.speakers[peer_id]
+                if not neighbor.alive:
+                    continue
+                if self.config.session is not None:
+                    speaker.sessions[peer_id].start()
+                    neighbor_session = neighbor.sessions[node_id]
+                    if not neighbor_session.established:
+                        neighbor_session.start()
+                else:
+                    # Implicit mode: the session is simply up again; both
+                    # ends behave as freshly established.
+                    speaker.session_established(peer_id)
+                    neighbor.session_established(node_id)
+        self.note_activity()
+        return t0
+
+    def fail_link(self, a: int, b: int) -> float:
+        """Fail a single link: both endpoints drop the session."""
+        t0 = self.sim.now
+        if self.speakers[a].alive:
+            self.speakers[a].peer_down(b)
+        if self.speakers[b].alive:
+            self.speakers[b].peer_down(a)
+        return t0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def failed_nodes(self) -> Set[int]:
+        return set(self._failed)
+
+    def alive_speakers(self) -> List[BGPSpeaker]:
+        return [s for s in self.speakers.values() if s.alive]
+
+    def alive_prefixes(self) -> Set[int]:
+        """Prefixes originated by at least one surviving router."""
+        return {s.asn for s in self.speakers.values() if s.alive}
+
+    def is_quiescent(self) -> bool:
+        """No pending events and no speaker holding queued work."""
+        if self.sim.pending_events:
+            return False
+        return not any(s.has_pending_work() for s in self.alive_speakers())
+
+    def total_loc_rib_routes(self) -> int:
+        return sum(len(s.loc_rib) for s in self.alive_speakers())

@@ -1,0 +1,96 @@
+"""Routes and route comparison.
+
+A :class:`Route` is a candidate entry in a RIB: the destination, the AS path
+*as received* (i.e. not including the local AS), which peer advertised it,
+and whether it was learned over eBGP.  Locally originated routes have an
+empty path and ``peer is None``.
+
+The decision process follows the paper's configuration — "the path length
+was the only criterion used for selecting the routes" — with deterministic
+tie-breaks so simulations are exactly reproducible:
+
+1. lower import-preference rank wins (always 0 unless a routing policy
+   is configured; Gao-Rexford ranks customer < peer < provider);
+2. shorter AS path wins;
+3. locally originated beats learned;
+4. eBGP-learned beats iBGP-learned (standard BGP, relevant only for the
+   multi-router topologies);
+5. lowest advertising peer id wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class Route:
+    """A single RIB entry for one destination."""
+
+    __slots__ = ("dest", "path", "peer", "ebgp", "rank")
+
+    def __init__(
+        self,
+        dest: int,
+        path: Tuple[int, ...],
+        peer: Optional[int],
+        ebgp: bool = True,
+        rank: int = 0,
+    ) -> None:
+        self.dest = dest
+        self.path = path
+        self.peer = peer
+        self.ebgp = ebgp
+        self.rank = rank
+
+    @property
+    def is_local(self) -> bool:
+        """True for a locally originated route."""
+        return self.peer is None
+
+    @property
+    def path_length(self) -> int:
+        return len(self.path)
+
+    def preference_key(self) -> Tuple[int, int, int, int, int]:
+        """Sort key: lower is better.  Total order over candidates."""
+        return (
+            self.rank,
+            len(self.path),
+            0 if self.peer is None else 1,
+            0 if self.ebgp else 1,
+            -1 if self.peer is None else self.peer,
+        )
+
+    def better_than(self, other: Optional["Route"]) -> bool:
+        """Strictly preferred over ``other`` (``None`` = no route)."""
+        if other is None:
+            return True
+        return self.preference_key() < other.preference_key()
+
+    def same_selection(self, other: Optional["Route"]) -> bool:
+        """Whether this and ``other`` denote the identical selection.
+
+        Compares path, advertising peer and session type; used to decide
+        whether a decision run actually changed the Loc-RIB.
+        """
+        if other is None:
+            return False
+        return (
+            self.path == other.path
+            and self.peer == other.peer
+            and self.ebgp == other.ebgp
+        )
+
+    def contains_as(self, asn: int) -> bool:
+        """AS-path loop check."""
+        return asn in self.path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = "local" if self.peer is None else f"peer={self.peer}"
+        kind = "eBGP" if self.ebgp else "iBGP"
+        return f"<Route dest={self.dest} path={self.path} {src} {kind}>"
+
+
+def local_route(dest: int) -> Route:
+    """The locally originated route for the node's own prefix."""
+    return Route(dest=dest, path=(), peer=None, ebgp=True)

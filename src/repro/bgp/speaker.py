@@ -1,0 +1,588 @@
+"""The BGP speaker: protocol engine + update-processing model.
+
+Each router runs one :class:`BGPSpeaker`.  The speaker models what the paper
+measures:
+
+* a single update processor with a FIFO (or batched) input queue and
+  uniform(1 ms, 30 ms) service times — the overload bottleneck;
+* per-peer MRAI timers (per-destination as an option) with RFC-1771 jitter;
+  withdrawals bypass the MRAI by default;
+* the standard RIB pipeline: store in Adj-RIB-In, run the decision process,
+  update Loc-RIB, and schedule (MRAI-governed) advertisements whose content
+  is computed *at send time* against Adj-RIB-Out, so superseded changes
+  collapse into a single message per peer and no-op updates are suppressed.
+
+Failure handling: ``peer_down`` flushes everything learned from the peer and
+re-selects affected destinations; ``fail`` silences the node itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.damping import DampingState
+from repro.bgp.messages import Update
+from repro.bgp.mrai import MRAIController
+from repro.bgp.session import Session, SessionMessage
+from repro.bgp.queues import QueueDiscipline, make_queue
+from repro.bgp.rib import AdjRibIn, LocRib, run_decision
+from repro.bgp.routes import Route
+from repro.sim.timers import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bgp.network import BGPNetwork
+
+#: Sentinel distinguishing "never advertised" from "advertised a withdrawal".
+_NEVER_SENT = object()
+
+
+class PeerState:
+    """Per-peer session state held by a speaker."""
+
+    __slots__ = (
+        "peer_id",
+        "asn",
+        "delay",
+        "ebgp",
+        "session_up",
+        "timer",
+        "dest_timers",
+        "pending",
+        "adj_rib_out",
+    )
+
+    def __init__(self, peer_id: int, asn: int, delay: float, ebgp: bool) -> None:
+        self.peer_id = peer_id
+        self.asn = asn
+        self.delay = delay
+        self.ebgp = ebgp
+        self.session_up = True
+        #: Per-peer MRAI timer (the Internet-prevalent mode).
+        self.timer: Optional[Timer] = None
+        #: Per-destination timers, populated lazily in that mode.
+        self.dest_timers: Dict[int, Timer] = {}
+        #: Destinations with a change waiting for the MRAI to expire.
+        self.pending: Set[int] = set()
+        #: What was last sent: dest -> path tuple, or None for "withdrawn".
+        self.adj_rib_out: Dict[int, Optional[Tuple[int, ...]]] = {}
+
+
+class BGPSpeaker:
+    """One BGP router."""
+
+    def __init__(
+        self,
+        network: "BGPNetwork",
+        node_id: int,
+        asn: int,
+        config: BGPConfig,
+        controller: MRAIController,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.node_id = node_id
+        self.asn = asn
+        self.config = config
+        self.controller = controller
+        self.alive = True
+
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self.own_prefixes: Set[int] = set()
+        self.peers: Dict[int, PeerState] = {}
+
+        self.queue: QueueDiscipline = make_queue(
+            config.queue_discipline, config.tcp_batch_size
+        )
+        self._busy = False
+        self._busy_since = 0.0
+        self._svc_rng = network.sim.rng.get(f"svc/{node_id}")
+        self._jitter_rng = network.sim.rng.get(f"jitter/{node_id}")
+        #: Flap-damping penalty per (peer, dest); only populated when the
+        #: config enables damping.
+        self._damping: Dict[Tuple[int, int], DampingState] = {}
+        #: Explicit sessions (per peer), populated only in explicit mode.
+        self.sessions: Dict[int, Session] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_peer(self, peer_id: int, asn: int, delay: float, ebgp: bool) -> None:
+        if peer_id in self.peers:
+            raise ValueError(f"duplicate peer {peer_id} at node {self.node_id}")
+        ps = PeerState(peer_id, asn, delay, ebgp)
+        self.peers[peer_id] = ps
+        if self.config.session is not None:
+            # Explicit mode: sessions start down and must be established.
+            ps.session_up = False
+            self.sessions[peer_id] = Session(self, peer_id, self.config.session)
+
+    def originate(self, prefix: int) -> None:
+        """Start advertising ``prefix`` as locally originated."""
+        self.own_prefixes.add(prefix)
+        self._reselect(prefix)
+
+    @property
+    def degree(self) -> int:
+        """Number of configured peers (including iBGP sessions)."""
+        return len(self.peers)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def unfinished_work(self) -> float:
+        """Queue length x mean service time — the dynamic scheme's signal."""
+        return len(self.queue) * self.config.mean_processing_delay
+
+    # ------------------------------------------------------------------
+    # Receive path / processing model
+    # ------------------------------------------------------------------
+    def receive(self, msg: Update) -> None:
+        """Deliver a message from the wire into the input queue."""
+        if not self.alive:
+            return
+        ps = self.peers.get(msg.sender)
+        if ps is None or not ps.session_up:
+            self.network.counters.incr("updates_dropped_dead_session")
+            return
+        self.network.counters.incr("updates_received")
+        self.queue.push(msg)
+        now = self.sim.now
+        self.controller.on_update_received(now)
+        self.controller.on_queue_sample(len(self.queue), now)
+        if not self._busy:
+            self._begin_service()
+
+    def _begin_service(self) -> None:
+        batch, dropped = self.queue.pop_batch()
+        if dropped:
+            self.network.counters.incr("updates_dropped_stale", dropped)
+        lo, hi = self.config.processing_delay_range
+        if hi > 0.0:
+            service = sum(self._svc_rng.uniform(lo, hi) for __ in batch)
+        else:
+            service = 0.0
+        self._busy = True
+        self._busy_since = self.sim.now
+        self.sim.schedule(service, self._complete_batch, batch)
+
+    def _complete_batch(self, batch: List[Update]) -> None:
+        if not self.alive:
+            return
+        now = self.sim.now
+        self._busy = False
+        self.controller.on_busy_interval(self._busy_since, now)
+        affected: Set[int] = set()
+        for msg in batch:
+            self.network.counters.incr("updates_processed")
+            if self._apply_update(msg):
+                affected.add(msg.dest)
+        for dest in affected:
+            self._reselect(dest)
+        self.controller.on_queue_sample(len(self.queue), now)
+        self.network.note_activity()
+        if len(self.queue):
+            self._begin_service()
+
+    def _apply_update(self, msg: Update) -> bool:
+        """Fold one update into Adj-RIB-In; True when the RIB-In changed."""
+        ps = self.peers.get(msg.sender)
+        if ps is None or not ps.session_up:
+            # The session died while the message sat in the queue.
+            self.network.counters.incr("updates_dropped_dead_session")
+            return False
+        if msg.is_withdrawal:
+            changed = self.adj_rib_in.withdraw(msg.dest, msg.sender)
+            if changed and ps.ebgp and self.config.damping is not None:
+                self._record_flap(ps, msg.dest, withdrawal=True)
+            return changed
+        assert msg.path is not None
+        if ps.ebgp and self.asn in msg.path:
+            # Receiver-side AS-path loop detection: infeasible route; any
+            # previous route from this peer is implicitly replaced.
+            self.network.counters.incr("updates_loop_rejected")
+            return self.adj_rib_in.withdraw(msg.dest, msg.sender)
+        existing = self.adj_rib_in.get(msg.dest, msg.sender)
+        if (
+            existing is not None
+            and existing.path == msg.path
+            and existing.ebgp == ps.ebgp
+        ):
+            return False
+        if ps.ebgp and self.config.damping is not None and existing is not None:
+            # RFC 2439: route changes are flaps; the *first* advertisement
+            # of a destination carries no penalty.
+            self._record_flap(ps, msg.dest, withdrawal=False)
+        rank = 0
+        if self.config.policy is not None and msg.path:
+            # Import policy: rank by preference class; None rejects.  The
+            # ranking neighbor AS is the first hop of the AS path — for
+            # eBGP that is the sending peer's AS, for iBGP it is the eBGP
+            # neighbor the route entered this AS through, so every router
+            # of the AS ranks consistently.
+            imported = self.config.policy.import_rank(
+                self.asn,
+                msg.path[0],
+                Route(msg.dest, msg.path, msg.sender, ps.ebgp),
+            )
+            if imported is None:
+                self.network.counters.incr("updates_policy_rejected")
+                return self.adj_rib_in.withdraw(msg.dest, msg.sender)
+            rank = imported
+        self.adj_rib_in.store(
+            Route(msg.dest, msg.path, msg.sender, ps.ebgp, rank=rank)
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Route flap damping (RFC 2439)
+    # ------------------------------------------------------------------
+    def _record_flap(self, ps: PeerState, dest: int, withdrawal: bool) -> None:
+        key = (ps.peer_id, dest)
+        state = self._damping.get(key)
+        if state is None:
+            state = DampingState(self.config.damping)
+            self._damping[key] = state
+        was_suppressed = state.suppressed
+        now = self.sim.now
+        if withdrawal:
+            state.record_withdrawal(now)
+        else:
+            state.record_readvertisement(now)
+        if state.suppressed and not was_suppressed:
+            self.network.counters.incr("routes_suppressed")
+            delay = state.time_until_reuse(now)
+            assert delay is not None
+            # Small epsilon so the decayed penalty is strictly below reuse.
+            self.sim.schedule(delay + 1e-6, self._reuse_check, ps.peer_id, dest)
+
+    def _reuse_check(self, peer_id: int, dest: int) -> None:
+        if not self.alive:
+            return
+        state = self._damping.get((peer_id, dest))
+        if state is None:
+            return
+        if state.maybe_reuse(self.sim.now):
+            self.network.counters.incr("routes_reused")
+            self._reselect(dest)
+        elif state.suppressed:
+            delay = state.time_until_reuse(self.sim.now)
+            assert delay is not None
+            self.sim.schedule(delay + 1e-6, self._reuse_check, peer_id, dest)
+
+    def _suppressed_peers(self, dest: int) -> Optional[Set[int]]:
+        """Peers whose route for ``dest`` is currently damped."""
+        if self.config.damping is None or not self._damping:
+            return None
+        excluded = {
+            peer_id
+            for (peer_id, d), state in self._damping.items()
+            if d == dest and state.suppressed
+        }
+        return excluded or None
+
+    # ------------------------------------------------------------------
+    # Decision + advertisement scheduling
+    # ------------------------------------------------------------------
+    def _reselect(self, dest: int) -> None:
+        old = self.loc_rib.get(dest)
+        new = run_decision(
+            self.adj_rib_in,
+            dest,
+            self.own_prefixes,
+            excluded_peers=self._suppressed_peers(dest),
+        )
+        if new is None and old is None:
+            return
+        if new is not None and new.same_selection(old):
+            return
+        self.loc_rib.set(dest, new)
+        self.network.counters.incr("route_changes")
+        if self.sim.tracer.enabled:
+            self.sim.tracer.emit(
+                self.sim.now,
+                "route_change",
+                self.node_id,
+                dest,
+                None if new is None else new.path,
+            )
+        self.controller.on_destination_changed(dest, self.sim.now)
+        self.network.note_activity()
+        self._schedule_advertisements(dest)
+
+    def export_route(self, ps: PeerState, dest: int) -> Optional[Tuple[int, ...]]:
+        """The path this node would advertise to ``ps`` for ``dest`` now.
+
+        ``None`` means "no advertisement" (withdraw if something was sent
+        before).  Encodes eBGP AS-prepending, iBGP non-reflection, and
+        optional sender-side loop suppression.
+        """
+        best = self.loc_rib.get(dest)
+        if best is None:
+            return None
+        if ps.ebgp:
+            if (
+                self.config.sender_side_loop_detection
+                and ps.asn in best.path
+            ):
+                return None
+            if self.config.policy is not None:
+                # The first AS on the stored path is the eBGP neighbor the
+                # route entered this AS through (None for local origin).
+                learned_from = best.path[0] if best.path else None
+                if not self.config.policy.export_allowed(
+                    self.asn, learned_from, ps.asn
+                ):
+                    return None
+            return (self.asn,) + best.path
+        # iBGP export: local and eBGP-learned routes only (full-mesh rule:
+        # a route learned over iBGP is never re-advertised over iBGP).
+        if not best.is_local and not best.ebgp:
+            return None
+        return best.path
+
+    def _schedule_advertisements(self, dest: int) -> None:
+        for ps in self.peers.values():
+            if not ps.session_up:
+                continue
+            export = self.export_route(ps, dest)
+            last = ps.adj_rib_out.get(dest, _NEVER_SENT)
+            if export == last:
+                ps.pending.discard(dest)
+                continue
+            if export is None:
+                if last is _NEVER_SENT:
+                    # Nothing was ever advertised: nothing to withdraw.
+                    ps.pending.discard(dest)
+                    continue
+                if not self.config.withdrawal_rate_limiting:
+                    # RFC 1771: MinRouteAdvertisementInterval does not
+                    # apply to withdrawals.
+                    self._send(ps, dest, None)
+                    ps.pending.discard(dest)
+                    continue
+            timer = self._timer_for(ps, dest)
+            if timer is not None and timer.running:
+                ps.pending.add(dest)
+            else:
+                self._send(ps, dest, export)
+                ps.pending.discard(dest)
+                # Advertisements always (re)arm the MRAI; withdrawals only
+                # do so when withdrawal rate limiting is enabled.
+                if export is not None or self.config.withdrawal_rate_limiting:
+                    self._start_timer(ps, dest)
+
+    def _timer_for(self, ps: PeerState, dest: int) -> Optional[Timer]:
+        """The (existing) MRAI timer governing ``dest`` towards ``ps``."""
+        if self.config.per_destination_mrai:
+            return ps.dest_timers.get(dest)
+        return ps.timer
+
+    def _start_timer(self, ps: PeerState, dest: int) -> None:
+        base = self.controller.value()
+        if base <= 0.0:
+            return
+        if self.config.per_destination_mrai:
+            timer = ps.dest_timers.get(dest)
+            if timer is None:
+                timer = Timer(
+                    self.sim,
+                    self._mrai_expired_dest,
+                    ps,
+                    dest,
+                    jitter=self.config.mrai_jitter,
+                    rng=self._jitter_rng,
+                )
+                ps.dest_timers[dest] = timer
+            timer.start(base)
+        else:
+            if ps.timer is None:
+                ps.timer = Timer(
+                    self.sim,
+                    self._mrai_expired_peer,
+                    ps,
+                    jitter=self.config.mrai_jitter,
+                    rng=self._jitter_rng,
+                )
+            ps.timer.start(base)
+
+    def _mrai_expired_peer(self, ps: PeerState) -> None:
+        if not self.alive or not ps.session_up or not ps.pending:
+            return
+        restart = False
+        for dest in sorted(ps.pending):
+            export = self.export_route(ps, dest)
+            last = ps.adj_rib_out.get(dest, _NEVER_SENT)
+            if export == last:
+                continue
+            if export is None and last is _NEVER_SENT:
+                continue
+            self._send(ps, dest, export)
+            if export is not None or self.config.withdrawal_rate_limiting:
+                restart = True
+        ps.pending.clear()
+        if restart:
+            self._start_timer(ps, -1)
+
+    def _mrai_expired_dest(self, ps: PeerState, dest: int) -> None:
+        if not self.alive or not ps.session_up or dest not in ps.pending:
+            return
+        ps.pending.discard(dest)
+        export = self.export_route(ps, dest)
+        last = ps.adj_rib_out.get(dest, _NEVER_SENT)
+        if export == last:
+            return
+        if export is None and last is _NEVER_SENT:
+            return
+        self._send(ps, dest, export)
+        if export is not None or self.config.withdrawal_rate_limiting:
+            self._start_timer(ps, dest)
+
+    def _send(
+        self, ps: PeerState, dest: int, export: Optional[Tuple[int, ...]]
+    ) -> None:
+        ps.adj_rib_out[dest] = export
+        msg = Update(dest, export, self.node_id, self.sim.now)
+        self.network.transmit(self.node_id, ps.peer_id, msg, ps.delay)
+
+    # ------------------------------------------------------------------
+    # Explicit session management
+    # ------------------------------------------------------------------
+    def start_sessions(self) -> None:
+        """Begin establishing all explicit sessions (explicit mode only)."""
+        for session in self.sessions.values():
+            session.start()
+
+    def send_session_message(self, peer_id: int, kind: str) -> None:
+        ps = self.peers[peer_id]
+        self.network.transmit_session(
+            self.node_id, peer_id, SessionMessage(kind, self.node_id), ps.delay
+        )
+
+    def receive_session(self, msg: SessionMessage) -> None:
+        """Session messages are handled out-of-band (no queueing cost)."""
+        if not self.alive:
+            return
+        session = self.sessions.get(msg.sender)
+        if session is not None:
+            session.handle(msg)
+
+    def session_established(self, peer_id: int) -> None:
+        """Callback from the FSM: (re)open the routing exchange."""
+        ps = self.peers[peer_id]
+        ps.session_up = True
+        ps.adj_rib_out.clear()
+        ps.pending.clear()
+        self.network.counters.incr("sessions_established")
+        self.network.note_activity()
+        # Full table transfer: advertise everything eligible, then arm the
+        # MRAI once for the whole initial burst.
+        sent_any = False
+        for dest in sorted(self.loc_rib.destinations()):
+            export = self.export_route(ps, dest)
+            if export is not None:
+                self._send(ps, dest, export)
+                sent_any = True
+        if sent_any:
+            self._start_timer(ps, -1)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def peer_down(self, peer_id: int) -> None:
+        """Tear down the session to ``peer_id`` and re-select routes."""
+        ps = self.peers.get(peer_id)
+        if ps is None or not ps.session_up:
+            return
+        ps.session_up = False
+        session = self.sessions.get(peer_id)
+        if session is not None and session.established:
+            # The teardown originated outside the FSM (e.g. an injected
+            # failure with implicit detection): bring the FSM along.
+            session.force_down()
+        if ps.timer is not None:
+            ps.timer.stop()
+        for timer in ps.dest_timers.values():
+            timer.stop()
+        ps.dest_timers.clear()
+        ps.pending.clear()
+        ps.adj_rib_out.clear()
+        self.network.counters.incr("sessions_down")
+        if self.sim.tracer.enabled:
+            self.sim.tracer.emit(
+                self.sim.now, "peer_down", self.node_id, peer_id
+            )
+        for dest in self.adj_rib_in.drop_peer(peer_id):
+            if ps.ebgp and self.config.damping is not None:
+                # RFC 2439: route loss through a session reset is a
+                # withdrawal flap like any other.
+                self._record_flap(ps, dest, withdrawal=True)
+            self._reselect(dest)
+        self.network.note_activity()
+
+    def fail(self) -> None:
+        """Take this router out of service entirely."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.queue.clear()
+        for session in self.sessions.values():
+            session.shutdown()
+        for ps in self.peers.values():
+            ps.session_up = False
+            if ps.timer is not None:
+                ps.timer.stop()
+            for timer in ps.dest_timers.values():
+                timer.stop()
+            ps.dest_timers.clear()
+            ps.pending.clear()
+
+    def revive(self) -> None:
+        """Bring a failed router back with a cold control plane.
+
+        RIBs, damping history and queue state are wiped (a rebooted router
+        remembers nothing); own prefixes are re-originated.  Session
+        re-establishment is the network's job (implicit mode marks both
+        ends up and triggers full-table exchanges; explicit mode restarts
+        the FSMs).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self._busy = False
+        self.queue.clear()
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self._damping.clear()
+        for ps in self.peers.values():
+            ps.session_up = False
+            ps.pending.clear()
+            ps.adj_rib_out.clear()
+        for prefix in sorted(self.own_prefixes):
+            self._reselect(prefix)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, validation)
+    # ------------------------------------------------------------------
+    def best_route(self, dest: int) -> Optional[Route]:
+        return self.loc_rib.get(dest)
+
+    def has_pending_work(self) -> bool:
+        """Anything still in flight at this node?"""
+        if self._busy or len(self.queue):
+            return True
+        return any(
+            ps.pending for ps in self.peers.values() if ps.session_up
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BGPSpeaker node={self.node_id} as={self.asn} "
+            f"peers={len(self.peers)} routes={len(self.loc_rib)}>"
+        )

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    repro-bgp run   --nodes 120 --distribution 70-30 --mrai 0.5 \\
+                    --failure 0.05 --scheme fifo --seed 1
+    repro-bgp sweep --figure fig3 --scale quick
+
+``run`` executes one convergence experiment and prints the measurements;
+``sweep`` regenerates one of the paper's figures (same harness the
+benchmark suite uses) and prints its series table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bgp.mrai import ConstantMRAI, MRAIPolicy
+from repro.core.degree_mrai import DegreeDependentMRAI
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.topology.degree import SkewedDegreeSpec
+from repro.topology.graph import Topology
+from repro.topology.internet import internet_like_topology
+from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
+from repro.topology.skewed import skewed_topology
+
+DISTRIBUTIONS = {
+    "70-30": SkewedDegreeSpec.paper_70_30,
+    "50-50": SkewedDegreeSpec.paper_50_50,
+    "85-15": SkewedDegreeSpec.paper_85_15,
+    "50-50-dense": SkewedDegreeSpec.paper_50_50_dense,
+}
+
+
+def build_topology(args: argparse.Namespace) -> Topology:
+    if getattr(args, "topology_file", None):
+        from repro.topology.serialize import load_topology
+
+        return load_topology(args.topology_file)
+    if args.topology == "skewed":
+        return skewed_topology(
+            args.nodes, DISTRIBUTIONS[args.distribution](), seed=args.seed
+        )
+    if args.topology == "internet":
+        return internet_like_topology(args.nodes, seed=args.seed)
+    if args.topology == "multirouter":
+        return multi_router_topology(
+            MultiRouterSpec(num_ases=args.nodes), seed=args.seed
+        )
+    raise ValueError(f"unknown topology {args.topology!r}")
+
+
+def build_mrai_policy(
+    args: argparse.Namespace, topology: Optional[Topology] = None
+) -> MRAIPolicy:
+    if args.mrai_scheme == "constant":
+        return ConstantMRAI(args.mrai)
+    if args.mrai_scheme == "degree":
+        return DegreeDependentMRAI(args.mrai_low, args.mrai_high)
+    if args.mrai_scheme == "dynamic":
+        return DynamicMRAI(up_th=args.up_th, down_th=args.down_th)
+    if args.mrai_scheme == "adaptive":
+        if topology is None:
+            raise ValueError("adaptive MRAI needs the topology")
+        from repro.core.adaptive import AdaptiveExtentMRAI
+
+        return AdaptiveExtentMRAI(
+            total_destinations=len(topology.as_numbers())
+        )
+    if args.mrai_scheme == "theory":
+        if topology is None:
+            raise ValueError("theory-ladder MRAI needs the topology")
+        from repro.core.theory import recommend_ladder
+
+        return DynamicMRAI(
+            levels=recommend_ladder(topology),
+            up_th=args.up_th,
+            down_th=args.down_th,
+        )
+    raise ValueError(f"unknown MRAI scheme {args.mrai_scheme!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    topology = build_topology(args)
+    spec = ExperimentSpec(
+        mrai=build_mrai_policy(args, topology),
+        queue_discipline=args.queue,
+        failure_fraction=args.failure,
+        validate=args.validate,
+    )
+    print(topology.summary())
+    result = run_experiment(topology, spec, seed=args.seed)
+    print(f"failure size       : {result.failure_size} routers")
+    print(f"warm-up time       : {result.warmup_time:.2f} s (sim)")
+    print(f"convergence delay  : {result.convergence_delay:.2f} s (sim)")
+    print(f"update messages    : {result.messages_sent}")
+    print(f"  withdrawals      : {result.withdrawals_sent}")
+    print(f"  stale dropped    : {result.stale_dropped}")
+    print(f"route changes      : {result.route_changes}")
+    print(f"events executed    : {result.events_executed}")
+    if result.truncated:
+        print("WARNING: run truncated at max_convergence_time", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    # Imported lazily: the figure registry lives with the benchmarks.
+    from repro.figures import FIGURES, compute_figure
+
+    if args.figure not in FIGURES:
+        print(
+            f"unknown figure {args.figure!r}; choose from "
+            f"{', '.join(sorted(FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    output = compute_figure(args.figure, scale=args.scale)
+    print(output.render())
+    if args.export:
+        from repro.analysis.export import figure_to_files
+
+        for path in figure_to_files(output, args.export):
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.figures import FIGURES
+
+    for figure_id in sorted(FIGURES):
+        print(f"{figure_id:22s} {FIGURES[figure_id].CAPTION}")
+    return 0
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    """Generate a topology, print its summary, optionally save it."""
+    topology = build_topology(args)
+    print(topology.summary())
+    histogram = sorted(topology.degree_histogram().items())
+    print("degree histogram:", ", ".join(f"{d}:{c}" for d, c in histogram))
+    if args.save:
+        from repro.topology.serialize import save_topology
+
+        save_topology(topology, args.save)
+        print(f"wrote {args.save}", file=sys.stderr)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp",
+        description=(
+            "BGP convergence-under-large-failure experiments "
+            "(DSN 2006 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topology_args(parser_):
+        parser_.add_argument("--nodes", type=int, default=120)
+        parser_.add_argument(
+            "--topology",
+            choices=("skewed", "internet", "multirouter"),
+            default="skewed",
+        )
+        parser_.add_argument(
+            "--distribution", choices=sorted(DISTRIBUTIONS), default="70-30"
+        )
+        parser_.add_argument(
+            "--topology-file",
+            metavar="PATH",
+            help="load a saved topology JSON instead of generating one",
+        )
+
+    run_p = sub.add_parser("run", help="run one convergence experiment")
+    add_topology_args(run_p)
+    run_p.add_argument(
+        "--mrai-scheme",
+        choices=("constant", "degree", "dynamic", "adaptive", "theory"),
+        default="constant",
+    )
+    run_p.add_argument("--mrai", type=float, default=0.5)
+    run_p.add_argument("--mrai-low", type=float, default=0.5)
+    run_p.add_argument("--mrai-high", type=float, default=2.25)
+    run_p.add_argument("--up-th", type=float, default=0.65)
+    run_p.add_argument("--down-th", type=float, default=0.05)
+    run_p.add_argument(
+        "--queue",
+        choices=("fifo", "dest_batch", "dest_batch_wf", "tcp_batch"),
+        default="fifo",
+    )
+    run_p.add_argument("--failure", type=float, default=0.05)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--validate", action="store_true")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="regenerate one paper figure")
+    sweep_p.add_argument("--figure", required=True)
+    sweep_p.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    sweep_p.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write CSV/JSON/text exports into DIR",
+    )
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    list_p = sub.add_parser(
+        "list", help="list reproducible figures and ablations"
+    )
+    list_p.set_defaults(func=cmd_list)
+
+    topo_p = sub.add_parser(
+        "topo", help="generate (and optionally save) a topology"
+    )
+    add_topology_args(topo_p)
+    topo_p.add_argument("--seed", type=int, default=0)
+    topo_p.add_argument(
+        "--save", metavar="PATH", help="write the topology as JSON"
+    )
+    topo_p.set_defaults(func=cmd_topo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

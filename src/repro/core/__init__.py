@@ -1,0 +1,63 @@
+"""The paper's contributions and the convergence-experiment driver.
+
+* :mod:`repro.core.degree_mrai` — degree-dependent static MRAI (Sec 4.2);
+* :mod:`repro.core.dynamic_mrai` — the dynamic MRAI scheme with queue /
+  utilization / message-count overload monitors (Sec 4.3);
+* :mod:`repro.core.experiment` — warm-up, failure injection, convergence
+  measurement, multi-trial aggregation;
+* :mod:`repro.core.sweep` — parameter sweeps producing the series behind
+  every figure;
+* :mod:`repro.core.validation` — post-convergence routing correctness
+  checks (reachability soundness/completeness, forwarding loop freedom).
+"""
+
+from repro.core.adaptive import AdaptiveExtentMRAI, FailureExtentController
+from repro.core.degree_mrai import DegreeDependentMRAI
+from repro.core.dynamic_mrai import (
+    DynamicController,
+    DynamicMRAI,
+    MessageCountController,
+    UtilizationController,
+)
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    TrialResult,
+    run_experiment,
+    run_trials,
+)
+from repro.core.sweep import Series, SweepPoint, failure_size_sweep, mrai_sweep
+from repro.core.theory import (
+    labovitz_clique_bound,
+    pei_unloaded_bound,
+    recommend_ladder,
+    recommend_mrai,
+    saturation_mrai_ratio,
+)
+from repro.core.validation import RoutingViolation, validate_routing
+
+__all__ = [
+    "AdaptiveExtentMRAI",
+    "DegreeDependentMRAI",
+    "FailureExtentController",
+    "DynamicController",
+    "DynamicMRAI",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MessageCountController",
+    "RoutingViolation",
+    "Series",
+    "SweepPoint",
+    "TrialResult",
+    "UtilizationController",
+    "failure_size_sweep",
+    "labovitz_clique_bound",
+    "mrai_sweep",
+    "pei_unloaded_bound",
+    "recommend_ladder",
+    "recommend_mrai",
+    "run_experiment",
+    "run_trials",
+    "saturation_mrai_ratio",
+    "validate_routing",
+]

@@ -1,0 +1,59 @@
+"""Degree-dependent MRAI (paper Sec 4.2).
+
+The observation behind the scheme: convergence delay after large failures is
+governed by the highest-degree nodes — they receive the most updates and are
+the first to overload.  So give *them* a large MRAI and leave the low-degree
+majority fast:
+
+    "we can keep the convergence delay for large failures low by using a
+    comparatively greater value of MRAI at high degree nodes"
+
+The paper's headline configuration on the 70-30 topology is ``low 0.5 s,
+high 2.25 s`` with the high class being the degree-8 nodes; the reversed
+assignment (``low 2.25, high 0.5``) is the control shown to perform badly.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.mrai import MRAIController, MRAIPolicy, StaticController
+
+
+class DegreeDependentMRAI(MRAIPolicy):
+    """Static MRAI chosen by node degree.
+
+    Parameters
+    ----------
+    low_value / high_value:
+        MRAI (seconds) for nodes below / at-or-above the threshold.
+    degree_threshold:
+        Smallest degree that counts as "high".  For the paper's 70-30
+        topology (low degrees 1-3, high degree 8) anything in 4-8 works;
+        the default of 4 matches "about 70% of the ASes were connected to
+        less than 4 other ASes".
+    """
+
+    def __init__(
+        self,
+        low_value: float,
+        high_value: float,
+        degree_threshold: int = 4,
+    ) -> None:
+        if low_value < 0 or high_value < 0:
+            raise ValueError("MRAI values must be non-negative")
+        if degree_threshold < 1:
+            raise ValueError("degree_threshold must be >= 1")
+        self.low_value = low_value
+        self.high_value = high_value
+        self.degree_threshold = degree_threshold
+        self.name = f"degree-mrai(low {low_value:g}, high {high_value:g})"
+
+    def controller_for(self, node_id: int, degree: int) -> MRAIController:
+        if degree >= self.degree_threshold:
+            return StaticController(self.high_value)
+        return StaticController(self.low_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DegreeDependentMRAI(low={self.low_value}, "
+            f"high={self.high_value}, threshold={self.degree_threshold})"
+        )

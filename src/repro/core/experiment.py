@@ -1,0 +1,249 @@
+"""Convergence experiments: warm-up, failure, measurement, trials.
+
+The measurement protocol mirrors the paper's:
+
+1. build the network, originate every prefix, run to quiescence
+   (*warm-up* — the steady state before the failure);
+2. inject the failure at T0 (all routers in the scenario die, surviving
+   neighbors see their sessions drop immediately);
+3. run to quiescence again; the **convergence delay** is the time of the
+   last routing activity (update sent/processed or Loc-RIB change) minus
+   T0, and the **message count** is the number of UPDATE messages sent
+   after T0 — the two quantities plotted in every figure.
+
+``run_trials`` repeats this over several (topology seed, simulation seed)
+pairs and aggregates, since individual runs are noisy exactly the way the
+paper's were.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.bgp.config import DEFAULT_PROCESSING_RANGE, BGPConfig
+from repro.bgp.damping import DampingConfig
+from repro.bgp.mrai import ConstantMRAI, MRAIPolicy
+from repro.bgp.policy import RoutingPolicy
+from repro.bgp.network import BGPNetwork
+from repro.core.validation import validate_routing
+from repro.failures.scenarios import (
+    FailureScenario,
+    geographic_failure,
+    random_failure,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import OnlineStats
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that defines one convergence experiment except the seed."""
+
+    mrai: MRAIPolicy = field(default_factory=lambda: ConstantMRAI(0.5))
+    queue_discipline: str = "fifo"
+    tcp_batch_size: int = 8
+    failure_fraction: float = 0.05
+    failure_kind: str = "geographic"
+    failure_center: Optional[Tuple[float, float]] = None
+    processing_delay_range: Tuple[float, float] = DEFAULT_PROCESSING_RANGE
+    withdrawal_rate_limiting: bool = False
+    sender_side_loop_detection: bool = True
+    per_destination_mrai: bool = False
+    #: Optional RFC-2439 flap damping (the deployed-practice comparison).
+    damping: Optional[DampingConfig] = None
+    #: Optional routing policy; None = the paper's unrestricted setting.
+    #: Note: ``validate=True`` uses the connected-component reachability
+    #: oracle, which policies violate by design — validate policy-routed
+    #: networks with :func:`repro.core.validation.validate_gao_rexford`.
+    policy: Optional[RoutingPolicy] = None
+    #: Hold-timer failure detection delay (0 = the paper's instantaneous
+    #: detection); jitter staggers neighbors' hold-timer expiries.
+    detection_delay: float = 0.0
+    detection_jitter: float = 0.0
+    #: Hard cap on simulated seconds after the failure (safety net; the
+    #: paper's scenarios converge well before this).
+    max_convergence_time: float = 3600.0
+    #: Hard cap on simulated warm-up seconds.
+    max_warmup_time: float = 3600.0
+    #: Run the routing validator after warm-up and after convergence.
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.failure_fraction <= 0.5):
+            raise ValueError(
+                "failure_fraction must be in (0, 0.5]; the paper restricts "
+                "failures to at most 20% of the network"
+            )
+        if self.failure_kind not in ("geographic", "random"):
+            raise ValueError(f"unknown failure kind {self.failure_kind!r}")
+        if self.detection_delay < 0 or self.detection_jitter < 0:
+            raise ValueError("detection delay/jitter must be non-negative")
+
+    def to_bgp_config(self) -> BGPConfig:
+        return BGPConfig(
+            mrai_policy=self.mrai,
+            processing_delay_range=self.processing_delay_range,
+            queue_discipline=self.queue_discipline,
+            tcp_batch_size=self.tcp_batch_size,
+            withdrawal_rate_limiting=self.withdrawal_rate_limiting,
+            sender_side_loop_detection=self.sender_side_loop_detection,
+            per_destination_mrai=self.per_destination_mrai,
+            damping=self.damping,
+            policy=self.policy,
+        )
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Measurements from a single warm-up + failure + convergence run."""
+
+    convergence_delay: float
+    messages_sent: int
+    withdrawals_sent: int
+    updates_processed: int
+    stale_dropped: int
+    route_changes: int
+    failure_size: int
+    failure_time: float
+    warmup_time: float
+    warmup_messages: int
+    events_executed: int
+    seed: int
+    truncated: bool
+
+    def __str__(self) -> str:
+        return (
+            f"delay={self.convergence_delay:.2f}s msgs={self.messages_sent} "
+            f"(withdrawals {self.withdrawals_sent}, stale-dropped "
+            f"{self.stale_dropped}) failed={self.failure_size}"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate over trials of the same spec."""
+
+    spec: ExperimentSpec
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def add(self, trial: TrialResult) -> None:
+        self.trials.append(trial)
+
+    @property
+    def n(self) -> int:
+        return len(self.trials)
+
+    def _stats(self, attr: str) -> OnlineStats:
+        stats = OnlineStats()
+        stats.extend(getattr(t, attr) for t in self.trials)
+        return stats
+
+    @property
+    def delay(self) -> OnlineStats:
+        return self._stats("convergence_delay")
+
+    @property
+    def messages(self) -> OnlineStats:
+        return self._stats("messages_sent")
+
+    @property
+    def mean_delay(self) -> float:
+        return self.delay.mean
+
+    @property
+    def mean_messages(self) -> float:
+        return self.messages.mean
+
+    def __str__(self) -> str:
+        d = self.delay
+        m = self.messages
+        return (
+            f"{self.n} trials: delay {d.mean:.2f}s (+/-{d.stdev:.2f}), "
+            f"messages {m.mean:.0f} (+/-{m.stdev:.0f})"
+        )
+
+
+def build_scenario(
+    topology: Topology, spec: ExperimentSpec, seed: int
+) -> FailureScenario:
+    """Derive the failure scenario a spec describes for a topology."""
+    if spec.failure_kind == "geographic":
+        return geographic_failure(
+            topology, spec.failure_fraction, spec.failure_center
+        )
+    rng = RandomStreams(seed).get("failure-selection")
+    return random_failure(topology, spec.failure_fraction, rng)
+
+
+def run_experiment(
+    topology: Topology,
+    spec: ExperimentSpec,
+    seed: int = 0,
+    scenario: Optional[FailureScenario] = None,
+) -> TrialResult:
+    """One full warm-up + failure + convergence measurement."""
+    network = BGPNetwork(topology, spec.to_bgp_config(), seed=seed)
+    network.start()
+    network.run_until_quiet(max_time=spec.max_warmup_time)
+    if not network.is_quiescent():
+        raise RuntimeError(
+            f"warm-up did not converge within {spec.max_warmup_time}s "
+            f"of simulated time"
+        )
+    warmup_time = network.last_activity
+    warmup_snapshot = network.counters.snapshot()
+    if spec.validate:
+        validate_routing(network)
+
+    if scenario is None:
+        scenario = build_scenario(topology, spec, seed)
+    t0 = network.fail_nodes(
+        scenario.nodes,
+        detection_delay=spec.detection_delay,
+        detection_jitter=spec.detection_jitter,
+    )
+    network.run_until_quiet(max_time=t0 + spec.max_convergence_time)
+    truncated = not network.is_quiescent()
+    if spec.validate and not truncated:
+        validate_routing(network)
+
+    diff = network.counters.diff(warmup_snapshot)
+    return TrialResult(
+        convergence_delay=network.last_activity - t0,
+        messages_sent=diff.get("updates_sent", 0),
+        withdrawals_sent=diff.get("withdrawals_sent", 0),
+        updates_processed=diff.get("updates_processed", 0),
+        stale_dropped=diff.get("updates_dropped_stale", 0),
+        route_changes=diff.get("route_changes", 0),
+        failure_size=scenario.size,
+        failure_time=t0,
+        warmup_time=warmup_time,
+        warmup_messages=warmup_snapshot.get("updates_sent", 0),
+        events_executed=network.sim.events_executed,
+        seed=seed,
+        truncated=truncated,
+    )
+
+
+def run_trials(
+    topology_factory: Callable[[int], Topology],
+    spec: ExperimentSpec,
+    seeds: Sequence[int],
+) -> ExperimentResult:
+    """Run one trial per seed, each on its own topology instance.
+
+    ``topology_factory(seed)`` lets trials vary the topology realization
+    the way the paper's repeated runs did; pass ``lambda s: fixed_topo`` to
+    hold the topology constant and vary only the protocol randomness.
+    """
+    result = ExperimentResult(spec=spec)
+    for seed in seeds:
+        topology = topology_factory(seed)
+        result.add(run_experiment(topology, spec, seed=seed))
+    return result

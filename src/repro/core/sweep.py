@@ -1,0 +1,132 @@
+"""Parameter sweeps — the machinery behind every figure.
+
+Each figure in the paper is a family of *series*: convergence delay (or
+message count) as a function of failure size or MRAI, one series per scheme
+or topology.  :func:`failure_size_sweep` and :func:`mrai_sweep` produce
+:class:`Series` objects; :mod:`repro.analysis.report` renders them as the
+text tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_trials,
+)
+from repro.topology.graph import Topology
+
+
+@dataclass
+class SweepPoint:
+    """One x-position of a series with its aggregated result."""
+
+    x: float
+    result: ExperimentResult
+
+    @property
+    def delay(self) -> float:
+        return self.result.mean_delay
+
+    @property
+    def messages(self) -> float:
+        return self.result.mean_messages
+
+
+@dataclass
+class Series:
+    """A labeled curve: scheme/topology vs a swept parameter."""
+
+    label: str
+    x_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add(self, x: float, result: ExperimentResult) -> None:
+        self.points.append(SweepPoint(x, result))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def delays(self) -> List[float]:
+        return [p.delay for p in self.points]
+
+    @property
+    def message_counts(self) -> List[float]:
+        return [p.messages for p in self.points]
+
+    def delay_at(self, x: float) -> float:
+        for p in self.points:
+            if p.x == x:
+                return p.delay
+        raise KeyError(f"no point at {self.x_name}={x}")
+
+    def messages_at(self, x: float) -> float:
+        for p in self.points:
+            if p.x == x:
+                return p.messages
+        raise KeyError(f"no point at {self.x_name}={x}")
+
+    def argmin_delay(self) -> float:
+        """The swept value minimizing mean delay (the "optimal MRAI")."""
+        if not self.points:
+            raise ValueError("empty series")
+        return min(self.points, key=lambda p: p.delay).x
+
+
+def failure_size_sweep(
+    topology_factory: Callable[[int], Topology],
+    spec: ExperimentSpec,
+    fractions: Sequence[float],
+    seeds: Sequence[int],
+    label: Optional[str] = None,
+) -> Series:
+    """Sweep the failure size, holding the scheme fixed (Figs 1/2/6-11)."""
+    series = Series(
+        label=label or spec.mrai.name, x_name="failure_fraction"
+    )
+    for fraction in fractions:
+        result = run_trials(
+            topology_factory,
+            spec.with_(failure_fraction=fraction),
+            seeds,
+        )
+        series.add(fraction, result)
+    return series
+
+
+def mrai_sweep(
+    topology_factory: Callable[[int], Topology],
+    spec: ExperimentSpec,
+    mrai_values: Sequence[float],
+    seeds: Sequence[int],
+    label: Optional[str] = None,
+) -> Series:
+    """Sweep a constant MRAI, holding the failure fixed (Figs 3/4/5/12)."""
+    series = Series(label=label or "delay-vs-mrai", x_name="mrai")
+    for value in mrai_values:
+        result = run_trials(
+            topology_factory,
+            spec.with_(mrai=ConstantMRAI(value)),
+            seeds,
+        )
+        series.add(value, result)
+    return series
+
+
+def scheme_comparison(
+    topology_factory: Callable[[int], Topology],
+    specs: Dict[str, ExperimentSpec],
+    fractions: Sequence[float],
+    seeds: Sequence[int],
+) -> List[Series]:
+    """Several schemes swept over failure sizes (Figs 6/7/10/13)."""
+    return [
+        failure_size_sweep(topology_factory, spec, fractions, seeds, label)
+        for label, spec in specs.items()
+    ]

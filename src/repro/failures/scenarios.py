@@ -1,0 +1,115 @@
+"""Failure scenario construction.
+
+A :class:`FailureScenario` is a pure description — the set of routers to
+kill plus metadata — derived from a topology.  Injection happens in
+:meth:`repro.bgp.network.BGPNetwork.fail_nodes`; keeping scenarios as data
+lets one scenario be replayed under many protocol configurations, which is
+how every figure in the paper is produced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.topology.graph import GRID_SIZE, Topology
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of routers that fail simultaneously."""
+
+    nodes: FrozenSet[int]
+    kind: str
+    description: str = ""
+    center: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a failure scenario must fail at least one node")
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def fraction_of(self, topology: Topology) -> float:
+        return self.size / topology.num_routers
+
+
+def geographic_failure(
+    topology: Topology,
+    fraction: float,
+    center: Optional[Tuple[float, float]] = None,
+) -> FailureScenario:
+    """Fail the ``fraction`` of routers closest to ``center``.
+
+    This realizes the paper's contiguous-area failures: conceptually a disc
+    around the center grows until it swallows the requested share of the
+    network; every router inside fails.  The default center is the middle
+    of the grid, the paper's choice "to avoid edge effects".  Distance ties
+    break by node id, so scenarios are deterministic.
+    """
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if center is None:
+        center = (GRID_SIZE / 2.0, GRID_SIZE / 2.0)
+    count = max(1, round(topology.num_routers * fraction))
+    ordered = topology.nodes_by_distance(*center)
+    victims = frozenset(ordered[:count])
+    return FailureScenario(
+        nodes=victims,
+        kind="geographic",
+        description=(
+            f"{count} routers ({fraction:.1%}) around "
+            f"({center[0]:.0f},{center[1]:.0f})"
+        ),
+        center=center,
+    )
+
+
+def random_failure(
+    topology: Topology,
+    fraction: float,
+    rng: random.Random,
+) -> FailureScenario:
+    """Fail a uniformly random ``fraction`` of routers (scattered failure)."""
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    count = max(1, round(topology.num_routers * fraction))
+    victims = frozenset(rng.sample(topology.node_ids(), count))
+    return FailureScenario(
+        nodes=victims,
+        kind="random",
+        description=f"{count} routers ({fraction:.1%}) scattered",
+    )
+
+
+def single_node_failure(topology: Topology, node_id: int) -> FailureScenario:
+    """The classic isolated-withdrawal experiment (Labovitz et al.)."""
+    if node_id not in topology.routers:
+        raise ValueError(f"unknown node {node_id}")
+    return FailureScenario(
+        nodes=frozenset({node_id}),
+        kind="single",
+        description=f"single router {node_id}",
+    )
+
+
+def link_cut_failure(
+    topology: Topology,
+    fraction: float,
+    center: Optional[Tuple[float, float]] = None,
+) -> List[Tuple[int, int]]:
+    """Links whose *both* endpoints lie in the contiguous failure area.
+
+    The paper argues link-only failures are unrealistic at large scale and
+    does not evaluate them; this helper exists for the ablation bench that
+    demonstrates the difference.
+    """
+    scenario = geographic_failure(topology, fraction, center)
+    return [
+        (link.a, link.b)
+        for link in topology.links
+        if link.a in scenario.nodes and link.b in scenario.nodes
+    ]

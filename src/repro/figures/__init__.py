@@ -1,0 +1,111 @@
+"""The figure-reproduction registry.
+
+One module per figure of the paper (the DSN 2006 paper has 13 figures and
+no tables).  Each module exposes ``FIGURE_ID``, ``CAPTION`` and
+``compute(profile) -> FigureOutput``; this package maps ids to modules and
+offers :func:`compute_figure` / :func:`run_figure`, used by both the CLI
+(``repro-bgp sweep --figure fig03``) and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import functools
+from types import ModuleType
+from typing import Dict, Optional
+
+from repro.figures import (
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+from repro.figures.common import (
+    FULL,
+    PROFILES,
+    QUICK,
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    resolve_profile,
+)
+
+_MODULES = (
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+
+FIGURES: Dict[str, ModuleType] = {m.FIGURE_ID: m for m in _MODULES}
+
+
+class _AblationModule:
+    """Adapter presenting an ablation function with the module interface."""
+
+    def __init__(self, figure_id: str, fn) -> None:
+        self.FIGURE_ID = figure_id
+        self.CAPTION = f"ablation: {figure_id[3:].replace('_', ' ')}"
+        self.compute = fn
+
+
+def _register_ablations() -> None:
+    from repro.figures.ablations import ABLATIONS
+
+    for figure_id, fn in ABLATIONS.items():
+        FIGURES[figure_id] = _AblationModule(figure_id, fn)
+
+
+_register_ablations()
+
+
+@functools.lru_cache(maxsize=None)
+def _compute_cached(figure_id: str, profile: ScaleProfile) -> FigureOutput:
+    return FIGURES[figure_id].compute(profile)
+
+
+def compute_figure(
+    figure_id: str, scale: Optional[str] = None
+) -> FigureOutput:
+    """Compute (with in-process caching) one figure's reproduction."""
+    if figure_id not in FIGURES:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
+        )
+    return _compute_cached(figure_id, resolve_profile(scale))
+
+
+def run_figure(figure_id: str, scale: Optional[str] = None) -> str:
+    """Compute one figure and render its table + shape checks."""
+    return compute_figure(figure_id, scale).render()
+
+
+__all__ = [
+    "Check",
+    "FIGURES",
+    "FULL",
+    "FigureOutput",
+    "PROFILES",
+    "QUICK",
+    "ScaleProfile",
+    "compute_figure",
+    "resolve_profile",
+    "run_figure",
+]

@@ -1,0 +1,670 @@
+"""Ablation experiments.
+
+Beyond the 13 figures, the paper makes several side claims and design
+choices in prose.  Each ablation here isolates one of them:
+
+* ``ab_per_dest_mrai`` — per-peer vs per-destination MRAI timers (Sec 2:
+  per-destination is the "straightforward" but unscalable design).
+* ``ab_tcp_batch`` — the paper's per-destination batching vs the
+  router-style fixed-size TCP-buffer batch (end of Sec 4.4: the latter's
+  dedup probability "will progressively decrease" with failure size).
+* ``ab_monitors`` — the three overload monitors for dynamic MRAI (Sec 4.3:
+  queue-based works, utilization "promising", message-count "not very
+  successful").
+* ``ab_high_degree_only`` — dynamic MRAI at all nodes vs only at
+  high-degree nodes (Sec 4.3: "effectively the same", because low-degree
+  nodes never overload).
+* ``ab_failure_geometry`` — geographically contiguous vs scattered random
+  failures of the same size.
+* ``ab_withdrawal_rl`` — RFC-default immediate withdrawals vs rate-limited
+  withdrawals.
+* ``ab_processing`` — the paper's uniform(1, 30) ms processing model vs no
+  processing cost (Sec 5: without overload "the convergence delays will be
+  unchanged" by the schemes).
+"""
+
+from __future__ import annotations
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import failure_size_sweep
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    check_le,
+    check_ratio,
+    skewed_factory,
+)
+
+
+def _sweep_schemes(profile, schemes, fractions=None):
+    factory = skewed_factory(profile)
+    return [
+        failure_size_sweep(
+            factory,
+            spec,
+            fractions if fractions is not None else profile.fractions,
+            profile.seeds,
+            label=label,
+        )
+        for label, spec in schemes
+    ]
+
+
+# ---------------------------------------------------------------------------
+def compute_per_dest_mrai(profile: ScaleProfile) -> FigureOutput:
+    low = profile.mrai_three[0]
+    series = _sweep_schemes(
+        profile,
+        [
+            ("per-peer", ExperimentSpec(mrai=ConstantMRAI(low))),
+            (
+                "per-destination",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low), per_destination_mrai=True
+                ),
+            ),
+        ],
+    )
+    per_peer, per_dest = series
+    f_large = profile.largest_fraction
+    checks = [
+        Check(
+            "both timer granularities converge at every failure size",
+            all(d > 0 for d in per_peer.delays + per_dest.delays),
+        ),
+        Check(
+            "per-destination timers change behaviour under load "
+            "(the designs are not equivalent)",
+            per_dest.delay_at(f_large) != per_peer.delay_at(f_large),
+            f"{per_dest.delay_at(f_large):.1f}s vs "
+            f"{per_peer.delay_at(f_large):.1f}s",
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_per_dest_mrai",
+        caption="Ablation: per-peer vs per-destination MRAI timers",
+        series=series,
+        metrics=("delay", "messages"),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+def compute_tcp_batch(profile: ScaleProfile) -> FigureOutput:
+    low = profile.mrai_three[0]
+    series = _sweep_schemes(
+        profile,
+        [
+            ("FIFO", ExperimentSpec(mrai=ConstantMRAI(low))),
+            (
+                "tcp-batch",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low), queue_discipline="tcp_batch"
+                ),
+            ),
+            (
+                "dest-batch",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low), queue_discipline="dest_batch"
+                ),
+            ),
+        ],
+    )
+    fifo, tcp, dest = series
+    f_large = profile.largest_fraction
+    checks = [
+        check_le(
+            "per-destination batching beats router-style TCP batching "
+            "for the largest failure",
+            dest.delay_at(f_large),
+            tcp.delay_at(f_large),
+            slack=1.05,
+        ),
+        check_ratio(
+            "per-destination batching beats plain FIFO for the largest "
+            "failure",
+            fifo.delay_at(f_large),
+            dest.delay_at(f_large),
+            minimum=1.5,
+        ),
+        check_le(
+            "TCP batching is no worse than FIFO",
+            tcp.delay_at(f_large),
+            fifo.delay_at(f_large),
+            slack=1.15,
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_tcp_batch",
+        caption="Ablation: FIFO vs TCP-buffer batching vs per-destination batching",
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+def compute_monitors(profile: ScaleProfile) -> FigureOutput:
+    levels = profile.dynamic_levels
+    series = _sweep_schemes(
+        profile,
+        [
+            ("queue", ExperimentSpec(mrai=DynamicMRAI(levels=levels))),
+            (
+                "utilization",
+                ExperimentSpec(
+                    mrai=DynamicMRAI(
+                        levels=levels,
+                        monitor="utilization",
+                        up_th=0.85,
+                        down_th=0.30,
+                    )
+                ),
+            ),
+            (
+                "msgcount",
+                ExperimentSpec(
+                    mrai=DynamicMRAI(
+                        levels=levels,
+                        monitor="msgcount",
+                        up_th=40.0,
+                        down_th=5.0,
+                    )
+                ),
+            ),
+            ("static low", ExperimentSpec(mrai=ConstantMRAI(levels[0]))),
+        ],
+    )
+    queue, util, msg, static_low = series
+    f_large = profile.largest_fraction
+    checks = [
+        check_le(
+            "queue-based dynamic MRAI beats the static low constant "
+            "for the largest failure",
+            queue.delay_at(f_large),
+            static_low.delay_at(f_large),
+        ),
+        check_le(
+            "utilization-based monitor also helps (paper: 'promising')",
+            util.delay_at(f_large),
+            static_low.delay_at(f_large),
+            slack=1.05,
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_monitors",
+        caption="Ablation: dynamic-MRAI overload monitors (queue / utilization / msgcount)",
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+def compute_high_degree_only(profile: ScaleProfile) -> FigureOutput:
+    levels = profile.dynamic_levels
+    series = _sweep_schemes(
+        profile,
+        [
+            ("dynamic everywhere", ExperimentSpec(mrai=DynamicMRAI(levels=levels))),
+            (
+                "dynamic at high degree only",
+                ExperimentSpec(
+                    mrai=DynamicMRAI(
+                        levels=levels, high_degree_only_threshold=4
+                    )
+                ),
+            ),
+        ],
+    )
+    everywhere, high_only = series
+    f_large = profile.largest_fraction
+    ratio = high_only.delay_at(f_large) / everywhere.delay_at(f_large)
+    checks = [
+        Check(
+            "restricting the dynamic scheme to high-degree nodes is "
+            "effectively the same (paper Sec 4.3)",
+            0.5 <= ratio <= 2.0,
+            f"largest-failure delay ratio {ratio:.2f}",
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_high_degree_only",
+        caption="Ablation: dynamic MRAI at all nodes vs high-degree nodes only",
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+def compute_failure_geometry(profile: ScaleProfile) -> FigureOutput:
+    low = profile.mrai_three[0]
+    series = _sweep_schemes(
+        profile,
+        [
+            ("geographic", ExperimentSpec(mrai=ConstantMRAI(low))),
+            (
+                "scattered",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low), failure_kind="random"
+                ),
+            ),
+        ],
+    )
+    checks = [
+        Check(
+            "both geometries converge and grow with failure size",
+            all(d > 0 for s in series for d in s.delays),
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_failure_geometry",
+        caption="Ablation: contiguous geographic vs scattered random failures",
+        series=series,
+        metrics=("delay", "messages"),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+def compute_withdrawal_rl(profile: ScaleProfile) -> FigureOutput:
+    low = profile.mrai_three[0]
+    series = _sweep_schemes(
+        profile,
+        [
+            (
+                "immediate withdrawals",
+                ExperimentSpec(mrai=ConstantMRAI(low)),
+            ),
+            (
+                "rate-limited withdrawals",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low), withdrawal_rate_limiting=True
+                ),
+            ),
+        ],
+    )
+    immediate, limited = series
+    checks = [
+        Check(
+            "rate-limiting withdrawals changes message counts",
+            any(
+                immediate.messages_at(f) != limited.messages_at(f)
+                for f in profile.fractions
+            ),
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_withdrawal_rl",
+        caption="Ablation: immediate (RFC default) vs rate-limited withdrawals",
+        series=series,
+        metrics=("delay", "messages"),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+def compute_processing(profile: ScaleProfile) -> FigureOutput:
+    low = profile.mrai_three[0]
+    series = _sweep_schemes(
+        profile,
+        [
+            ("uniform(1,30)ms FIFO", ExperimentSpec(mrai=ConstantMRAI(low))),
+            (
+                "uniform(1,30)ms batching",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low), queue_discipline="dest_batch"
+                ),
+            ),
+            (
+                "zero cost FIFO",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low),
+                    processing_delay_range=(0.0, 0.0),
+                ),
+            ),
+            (
+                "zero cost batching",
+                ExperimentSpec(
+                    mrai=ConstantMRAI(low),
+                    processing_delay_range=(0.0, 0.0),
+                    queue_discipline="dest_batch",
+                ),
+            ),
+        ],
+    )
+    loaded_fifo, loaded_batch, free_fifo, free_batch = series
+    f_large = profile.largest_fraction
+    free_ratio = (
+        free_batch.delay_at(f_large) / free_fifo.delay_at(f_large)
+        if free_fifo.delay_at(f_large)
+        else 1.0
+    )
+    checks = [
+        check_ratio(
+            "with processing overhead, batching helps at the largest failure",
+            loaded_fifo.delay_at(f_large),
+            loaded_batch.delay_at(f_large),
+            minimum=1.5,
+        ),
+        Check(
+            "without processing overhead, batching changes nothing "
+            "(paper Sec 5)",
+            0.8 <= free_ratio <= 1.2,
+            f"zero-cost batch/FIFO delay ratio {free_ratio:.2f}",
+        ),
+        check_le(
+            "overload, not propagation, dominates the loaded delay",
+            free_fifo.delay_at(f_large),
+            loaded_fifo.delay_at(f_large),
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_processing",
+        caption="Ablation: the processing-overhead model is what the schemes fix",
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+def compute_future_work(profile: ScaleProfile) -> FigureOutput:
+    """The paper's Sec-5 future-work schemes, implemented and measured.
+
+    * failure-extent-adaptive MRAI ("a scheme that can accurately and
+      quickly set the MRAI consistent with the extent of failure");
+    * withdrawal-first batching ("the batching scheme can be improved
+      further to remove conflicting/superfluous updates");
+    * the analytically derived MRAI ladder from repro.core.theory ("it is
+      necessary to develop a suitable theory for choosing various
+      parameters"), feeding the paper's own dynamic scheme.
+    """
+    from repro.core.adaptive import AdaptiveExtentMRAI
+    from repro.core.theory import recommend_ladder
+    from repro.figures.common import skewed_factory as _sf
+
+    factory = _sf(profile)
+    sample_topology = factory(profile.seeds[0])
+    total_destinations = len(sample_topology.as_numbers())
+    theory_ladder = recommend_ladder(sample_topology)
+    low = profile.mrai_three[0]
+    schemes = [
+        (f"MRAI={low:g}s", ExperimentSpec(mrai=ConstantMRAI(low))),
+        (
+            "dynamic (paper)",
+            ExperimentSpec(mrai=DynamicMRAI(levels=profile.dynamic_levels)),
+        ),
+        (
+            "batching (paper)",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low), queue_discipline="dest_batch"
+            ),
+        ),
+        (
+            "adaptive extent",
+            ExperimentSpec(
+                mrai=AdaptiveExtentMRAI(total_destinations=total_destinations)
+            ),
+        ),
+        (
+            "withdrawal-first batch",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low), queue_discipline="dest_batch_wf"
+            ),
+        ),
+        (
+            "dynamic @ theory ladder",
+            ExperimentSpec(mrai=DynamicMRAI(levels=theory_ladder)),
+        ),
+    ]
+    series = _sweep_schemes(profile, schemes)
+    const_low, dynamic, batching, adaptive, wf_batch, theory = series
+    f_small = profile.smallest_fraction
+    f_large = profile.largest_fraction
+    checks = [
+        check_le(
+            "adaptive-extent MRAI beats the constant-low meltdown",
+            adaptive.delay_at(f_large),
+            const_low.delay_at(f_large),
+        ),
+        check_le(
+            "adaptive-extent MRAI is competitive with the paper's dynamic "
+            "scheme at the largest failure",
+            adaptive.delay_at(f_large),
+            dynamic.delay_at(f_large),
+            slack=1.25,
+            strict=False,
+        ),
+        check_le(
+            "withdrawal-first batching stays in the batching class",
+            wf_batch.delay_at(f_large),
+            batching.delay_at(f_large),
+            slack=1.5,
+        ),
+        check_le(
+            "the analytic ladder needs no measured sweep yet performs "
+            "like the hand-tuned one",
+            theory.delay_at(f_large),
+            dynamic.delay_at(f_large),
+            slack=1.75,
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_future_work",
+        caption="Ablation: the paper's future-work schemes, implemented",
+        series=series,
+        metrics=("delay", "messages"),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+def compute_detection_delay(profile: ScaleProfile) -> FigureOutput:
+    """Hold-timer failure detection vs the paper's instantaneous model.
+
+    The paper starts its convergence clock at the failure instant with
+    immediate session teardown.  Real BGP waits out the hold timer; this
+    ablation shows the detection delay adds roughly additively and does
+    not change which scheme wins.
+    """
+    low = profile.mrai_three[0]
+    schemes = [
+        (
+            f"hold={detection:g}s",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low),
+                detection_delay=detection,
+                detection_jitter=detection * 0.25,
+            ),
+        )
+        for detection in (0.0, 1.0, 3.0)
+    ]
+    series = _sweep_schemes(profile, schemes)
+    instant, one_second, three_seconds = series
+    f_small = profile.smallest_fraction
+    checks = [
+        check_le(
+            "hold-timer detection adds roughly its own delay for small "
+            "failures",
+            three_seconds.delay_at(f_small),
+            instant.delay_at(f_small) + 3.0 + 1.5,
+        ),
+        Check(
+            "detection delay never speeds convergence up",
+            all(
+                three_seconds.delay_at(f) >= instant.delay_at(f) * 0.8
+                for f in profile.fractions
+            ),
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_detection_delay",
+        caption="Ablation: instantaneous vs hold-timer failure detection",
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+def compute_flap_damping(profile: ScaleProfile) -> FigureOutput:
+    """RFC-2439 route flap damping vs the paper's schemes.
+
+    Damping was the deployed answer to update storms in the paper's era.
+    After a *single* large failure event, path exploration looks like
+    flapping, so damping suppresses recovery routes.  That cuts update
+    volume (and hence, in the overload regime, measured convergence time)
+    — but at the price of temporarily blackholing suppressed routes until
+    their penalties decay (Mao et al., SIGCOMM 2002).  The paper's
+    batching scheme achieves a bigger delay reduction with no suppression
+    at all, which is what the strict check pins down.  Damping half-life
+    is scaled to the simulation's seconds-scale dynamics.
+    """
+    from repro.bgp.damping import DampingConfig
+
+    low = profile.mrai_three[0]
+    schemes = [
+        ("no damping", ExperimentSpec(mrai=ConstantMRAI(low))),
+        (
+            "flap damping",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low),
+                damping=DampingConfig(half_life=4.0),
+            ),
+        ),
+        (
+            "batching",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low), queue_discipline="dest_batch"
+            ),
+        ),
+    ]
+    series = _sweep_schemes(profile, schemes)
+    plain, damped, batching = series
+    f_large = profile.largest_fraction
+    checks = [
+        check_le(
+            "batching beats flap damping for large-scale failures "
+            "(and without damping's suppression blackholes)",
+            batching.delay_at(f_large),
+            damped.delay_at(f_large),
+        ),
+        Check(
+            "damping works by suppressing updates: fewer messages than "
+            "plain BGP at the largest failure",
+            damped.messages_at(f_large) < plain.messages_at(f_large),
+            f"{damped.messages_at(f_large):.0f} vs "
+            f"{plain.messages_at(f_large):.0f}",
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_flap_damping",
+        caption="Ablation: RFC-2439 flap damping vs the paper's schemes",
+        series=series,
+        metrics=("delay", "messages"),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+def compute_policy_routing(profile: ScaleProfile) -> FigureOutput:
+    """Policy routing vs the paper's "no policy restrictions" setting.
+
+    The paper selects routes by path length alone.  Under Gao-Rexford
+    commercial policies (customer > peer > provider, valley-free export)
+    fewer alternate paths exist, so path exploration — the engine of the
+    paper's convergence problem — has less to explore.  The topology is
+    held fixed across trials so the inferred AS relationships stay
+    consistent; relationships are inferred hierarchically, which keeps
+    valley-free reachability complete and the comparison apples-to-apples.
+    """
+    from repro.bgp.policy import (
+        GaoRexfordPolicy,
+        infer_relationships_hierarchical,
+    )
+    from repro.core.sweep import failure_size_sweep
+
+    fixed_topology = skewed_factory(profile)(profile.seeds[0])
+    relationships = infer_relationships_hierarchical(fixed_topology)
+    low = profile.mrai_three[0]
+    schemes = [
+        ("no policy (paper)", ExperimentSpec(mrai=ConstantMRAI(low))),
+        (
+            "Gao-Rexford",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low),
+                policy=GaoRexfordPolicy(relationships),
+            ),
+        ),
+    ]
+    series = [
+        failure_size_sweep(
+            lambda seed: fixed_topology,
+            spec,
+            profile.fractions,
+            profile.seeds,
+            label=label,
+        )
+        for label, spec in schemes
+    ]
+    unrestricted, policied = series
+    f_large = profile.largest_fraction
+    checks = [
+        Check(
+            "policies shrink the exploration space: fewer update messages "
+            "at the largest failure",
+            policied.messages_at(f_large) < unrestricted.messages_at(f_large),
+            f"{policied.messages_at(f_large):.0f} vs "
+            f"{unrestricted.messages_at(f_large):.0f}",
+        ),
+        check_le(
+            "policied convergence is no slower than unrestricted at the "
+            "largest failure",
+            policied.delay_at(f_large),
+            unrestricted.delay_at(f_large),
+            slack=1.25,
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id="ab_policy_routing",
+        caption="Ablation: Gao-Rexford policies vs unrestricted shortest-path",
+        series=series,
+        metrics=("delay", "messages"),
+        checks=checks,
+        profile_name=profile.name,
+    )
+
+
+ABLATIONS = {
+    "ab_future_work": compute_future_work,
+    "ab_detection_delay": compute_detection_delay,
+    "ab_flap_damping": compute_flap_damping,
+    "ab_policy_routing": compute_policy_routing,
+    "ab_per_dest_mrai": compute_per_dest_mrai,
+    "ab_tcp_batch": compute_tcp_batch,
+    "ab_monitors": compute_monitors,
+    "ab_high_degree_only": compute_high_degree_only,
+    "ab_failure_geometry": compute_failure_geometry,
+    "ab_withdrawal_rl": compute_withdrawal_rl,
+    "ab_processing": compute_processing,
+}

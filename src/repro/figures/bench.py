@@ -1,0 +1,57 @@
+"""Benchmark-suite support.
+
+Each module in ``benchmarks/`` regenerates one figure of the paper via the
+shared harness in :mod:`repro.figures`, prints the series table (the same
+rows/series the paper plots), saves it under ``results/`` at the repo root
+and asserts the figure's *strict* shape checks — the paper's qualitative
+claims.
+
+Scale: ``REPRO_BENCH_SCALE=quick`` (default: 60-node topologies, minutes
+for the whole suite) or ``full`` (the paper's 120-node scale, 3 trials per
+point; expect an hour or more).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.figures import FigureOutput, compute_figure, resolve_profile
+
+
+def results_dir() -> pathlib.Path:
+    """``results/`` next to the installed source tree's repository root."""
+    here = pathlib.Path(__file__).resolve()
+    # src/repro/figures/bench.py -> repository root is 3 levels above src.
+    root = here.parents[3]
+    if root.name == "src":
+        root = root.parent
+    return root / "results"
+
+
+def run_figure_benchmark(benchmark, figure_id: str) -> FigureOutput:
+    """Standard body for one figure benchmark."""
+    profile = resolve_profile(None)
+    output = benchmark.pedantic(
+        compute_figure,
+        args=(figure_id, profile.name),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = output.render()
+    print()
+    print(rendered)
+    out_dir = results_dir()
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / f"{figure_id}_{profile.name}.txt"
+    out_path.write_text(rendered + "\n", encoding="utf-8")
+    # Machine-readable companions for plotting.
+    from repro.analysis.export import series_to_csv
+
+    csv_path = out_dir / f"{figure_id}_{profile.name}.csv"
+    csv_path.write_text(series_to_csv(output.series), encoding="utf-8")
+    failed = output.failed_strict()
+    assert not failed, (
+        f"{figure_id}: strict shape checks failed: "
+        + "; ".join(f"{c.name} ({c.detail})" for c in failed)
+    )
+    return output

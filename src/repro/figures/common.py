@@ -1,0 +1,293 @@
+"""Shared infrastructure for the figure-reproduction harness.
+
+A :class:`ScaleProfile` fixes the experiment scale:
+
+* ``quick`` — 60-node topologies, single trial, coarse sweep grids.  Runs
+  the full 13-figure suite in minutes; the default for the benchmark
+  suite.  The phenomena (V-shapes, moving optima, scheme orderings) are
+  already present at this scale.
+* ``full`` — the paper's 120-node topologies, 3 trials per point, dense
+  grids.  Expect an hour or more for the complete suite; enable with
+  ``REPRO_BENCH_SCALE=full``.
+
+Each figure module computes a :class:`FigureOutput`: the series behind the
+plot, plus named *shape checks* encoding the paper's qualitative claims
+(who wins, by roughly what factor, where the crossover falls).  Strict
+checks are asserted by the benchmark suite; soft checks are recorded but
+tolerated, since single-trial quick runs are noisy the same way the
+paper's individual runs were.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_figure
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import Series, failure_size_sweep, mrai_sweep
+from repro.topology.degree import SkewedDegreeSpec
+from repro.topology.graph import Topology
+from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
+from repro.topology.skewed import skewed_topology
+
+#: Environment variable selecting the default scale.
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Experiment scale: topology size, trial count and sweep grids."""
+
+    name: str
+    nodes: int
+    seeds: Tuple[int, ...]
+    fractions: Tuple[float, ...]
+    mrai_grid: Tuple[float, ...]
+    #: The three headline MRAI values swept in Figs 1/2/6/7/10/11.
+    mrai_three: Tuple[float, float, float]
+    #: Ladder for the dynamic scheme (the per-failure-size optima).
+    dynamic_levels: Tuple[float, ...]
+    #: Failure sizes for the Fig 3 delay-vs-MRAI curves.
+    fig3_fractions: Tuple[float, ...]
+    #: Number of ASes in the Fig 13 multi-router topologies.
+    multirouter_ases: int
+
+    @property
+    def smallest_fraction(self) -> float:
+        return self.fractions[0]
+
+    @property
+    def largest_fraction(self) -> float:
+        return self.fractions[-1]
+
+
+QUICK = ScaleProfile(
+    name="quick",
+    nodes=60,
+    seeds=(1,),
+    fractions=(1.0 / 60.0, 0.05, 0.10, 0.20),
+    mrai_grid=(0.25, 0.5, 1.25, 2.25, 3.5),
+    mrai_three=(0.5, 1.25, 2.25),
+    dynamic_levels=(0.5, 1.25, 2.25),
+    fig3_fractions=(1.0 / 60.0, 0.05, 0.10),
+    multirouter_ases=48,
+)
+
+FULL = ScaleProfile(
+    name="full",
+    nodes=120,
+    seeds=(1, 2, 3),
+    fractions=(0.01, 0.025, 0.05, 0.10, 0.15, 0.20),
+    mrai_grid=(0.25, 0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 3.0, 4.0),
+    mrai_three=(0.5, 1.25, 2.25),
+    dynamic_levels=(0.5, 1.25, 2.25),
+    fig3_fractions=(0.01, 0.05, 0.10),
+    multirouter_ases=60,
+)
+
+PROFILES: Dict[str, ScaleProfile] = {"quick": QUICK, "full": FULL}
+
+
+def resolve_profile(scale: str | None = None) -> ScaleProfile:
+    """Profile by name, by ``REPRO_BENCH_SCALE``, or the quick default."""
+    if scale is None:
+        scale = os.environ.get(SCALE_ENV_VAR, "quick")
+    try:
+        return PROFILES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(PROFILES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Topology factories
+# ---------------------------------------------------------------------------
+def skewed_factory(
+    profile: ScaleProfile, spec: SkewedDegreeSpec | None = None
+) -> Callable[[int], Topology]:
+    """Factory for the paper's skewed flat topologies at profile scale."""
+    the_spec = spec if spec is not None else SkewedDegreeSpec.paper_70_30()
+
+    def build(seed: int) -> Topology:
+        return skewed_topology(profile.nodes, the_spec, seed=seed)
+
+    return build
+
+
+def multirouter_factory(profile: ScaleProfile) -> Callable[[int], Topology]:
+    """Factory for the Fig 13 realistic topologies at profile scale."""
+    spec = MultiRouterSpec(num_ases=profile.multirouter_ases)
+
+    def build(seed: int) -> Topology:
+        return multi_router_topology(spec, seed=seed)
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Checks and outputs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Check:
+    """One qualitative claim from the paper, evaluated on our data."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    #: Strict checks are asserted by the benchmarks; soft ones recorded.
+    strict: bool = True
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else ("FAIL" if self.strict else "soft-fail")
+        strictness = "" if self.strict else " [soft]"
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"  [{mark}]{strictness} {self.name}{detail}"
+
+
+@dataclass
+class FigureOutput:
+    """Everything a reproduced figure yields."""
+
+    figure_id: str
+    caption: str
+    series: List[Series]
+    metrics: Tuple[str, ...]
+    checks: List[Check] = field(default_factory=list)
+    profile_name: str = "quick"
+
+    @property
+    def strict_ok(self) -> bool:
+        return all(c.passed for c in self.checks if c.strict)
+
+    def failed_strict(self) -> List[Check]:
+        return [c for c in self.checks if c.strict and not c.passed]
+
+    def render(self) -> str:
+        body = format_figure(
+            self.figure_id, self.caption, self.series, self.metrics
+        )
+        check_lines = "\n".join(str(c) for c in self.checks)
+        footer = f"(scale profile: {self.profile_name})"
+        return f"{body}\n\nShape checks:\n{check_lines}\n{footer}"
+
+
+def check_ratio(
+    name: str,
+    numerator: float,
+    denominator: float,
+    minimum: float,
+    strict: bool = True,
+) -> Check:
+    """Check ``numerator / denominator >= minimum``."""
+    ratio = numerator / denominator if denominator else float("inf")
+    return Check(
+        name=name,
+        passed=ratio >= minimum,
+        detail=f"ratio {ratio:.2f} (needed >= {minimum:g})",
+        strict=strict,
+    )
+
+
+def check_le(
+    name: str,
+    lhs: float,
+    rhs: float,
+    slack: float = 1.0,
+    strict: bool = True,
+) -> Check:
+    """Check ``lhs <= rhs * slack``."""
+    return Check(
+        name=name,
+        passed=lhs <= rhs * slack,
+        detail=f"{lhs:.2f} vs {rhs:.2f} (slack x{slack:g})",
+        strict=strict,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared (memoized) sweeps — several figures reuse the same computation
+# ---------------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def three_mrai_failure_sweep(profile: ScaleProfile) -> Tuple[Series, ...]:
+    """Delay+messages vs failure size for the three headline MRAIs.
+
+    Shared by Fig 1 (delay) and Fig 2 (messages).
+    """
+    factory = skewed_factory(profile)
+    out = []
+    for mrai_value in profile.mrai_three:
+        from repro.bgp.mrai import ConstantMRAI
+
+        spec = ExperimentSpec(mrai=ConstantMRAI(mrai_value))
+        out.append(
+            failure_size_sweep(
+                factory,
+                spec,
+                profile.fractions,
+                profile.seeds,
+                label=f"MRAI={mrai_value:g}s",
+            )
+        )
+    return tuple(out)
+
+
+@functools.lru_cache(maxsize=None)
+def batching_scheme_sweep(profile: ScaleProfile) -> Tuple[Series, ...]:
+    """Delay+messages vs failure size for the Fig 10/11 scheme set."""
+    from repro.bgp.mrai import ConstantMRAI
+    from repro.core.dynamic_mrai import DynamicMRAI
+
+    factory = skewed_factory(profile)
+    low, __, high = profile.mrai_three
+    schemes = [
+        (f"MRAI={low:g}s", ExperimentSpec(mrai=ConstantMRAI(low))),
+        (f"MRAI={high:g}s", ExperimentSpec(mrai=ConstantMRAI(high))),
+        (
+            "dynamic",
+            ExperimentSpec(mrai=DynamicMRAI(levels=profile.dynamic_levels)),
+        ),
+        (
+            "batching",
+            ExperimentSpec(
+                mrai=ConstantMRAI(low), queue_discipline="dest_batch"
+            ),
+        ),
+        (
+            "batch+dynamic",
+            ExperimentSpec(
+                mrai=DynamicMRAI(levels=profile.dynamic_levels),
+                queue_discipline="dest_batch",
+            ),
+        ),
+    ]
+    return tuple(
+        failure_size_sweep(
+            factory, spec, profile.fractions, profile.seeds, label=label
+        )
+        for label, spec in schemes
+    )
+
+
+def series_for_mrai_grid(
+    profile: ScaleProfile,
+    factory: Callable[[int], Topology],
+    fraction: float,
+    label: str,
+    queue_discipline: str = "fifo",
+    grid: Sequence[float] | None = None,
+) -> Series:
+    """One delay-vs-MRAI curve at a fixed failure size."""
+    spec = ExperimentSpec(
+        failure_fraction=fraction, queue_discipline=queue_discipline
+    )
+    return mrai_sweep(
+        factory,
+        spec,
+        grid if grid is not None else profile.mrai_grid,
+        profile.seeds,
+        label=label,
+    )

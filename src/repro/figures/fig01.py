@@ -1,0 +1,61 @@
+"""Fig 1 — Convergence delay for different sized failures.
+
+Paper claim (Sec 4.1): with a low MRAI the delay is small for small
+failures but "increases sharply as the size of the failure goes up"; with
+higher MRAIs the small-failure delay is larger but the growth is gentler.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.shapes import monotone_increasing
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    check_le,
+    three_mrai_failure_sweep,
+)
+
+FIGURE_ID = "fig01"
+CAPTION = "Convergence delay vs failure size (70-30 topology)"
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    series = list(three_mrai_failure_sweep(profile))
+    low, __, high = (s for s in series)
+    f_small = profile.smallest_fraction
+    f_large = profile.largest_fraction
+
+    low_growth = low.delays[-1] / low.delays[0]
+    high_growth = high.delays[-1] / high.delays[0]
+    checks = [
+        check_le(
+            "low MRAI gives the lowest delay for the smallest failure",
+            low.delay_at(f_small),
+            high.delay_at(f_small),
+        ),
+        check_le(
+            "high MRAI gives the lowest delay for the largest failure",
+            high.delay_at(f_large),
+            low.delay_at(f_large),
+        ),
+        Check(
+            "low-MRAI delay grows steeper with failure size than high-MRAI",
+            low_growth > high_growth,
+            f"growth x{low_growth:.2f} (low) vs x{high_growth:.2f} (high)",
+        ),
+        Check(
+            "low-MRAI delay increases with failure size",
+            monotone_increasing(low.delays, tolerance=0.35),
+            f"delays {['%.1f' % d for d in low.delays]}",
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )

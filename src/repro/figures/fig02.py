@@ -1,0 +1,60 @@
+"""Fig 2 — Number of generated messages for different MRAI values.
+
+Paper claim (Sec 4.1): "For small failures, the number of messages is low
+and about the same for all the MRAI values.  The message count for
+MRAI=0.5 seconds shoots up as the size of the failure is increased"; the
+higher-MRAI counts grow more gradually.
+"""
+
+from __future__ import annotations
+
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    check_ratio,
+    three_mrai_failure_sweep,
+)
+
+FIGURE_ID = "fig02"
+CAPTION = "Update messages vs failure size (70-30 topology)"
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    series = list(three_mrai_failure_sweep(profile))
+    low, __, high = (s for s in series)
+    f_small = profile.smallest_fraction
+    f_large = profile.largest_fraction
+
+    small_ratio = (
+        low.messages_at(f_small) / high.messages_at(f_small)
+        if high.messages_at(f_small)
+        else float("inf")
+    )
+    checks = [
+        Check(
+            "message counts are comparable across MRAIs for the smallest failure",
+            small_ratio <= 2.5,
+            f"low/high message ratio {small_ratio:.2f}",
+        ),
+        check_ratio(
+            "low-MRAI message count shoots up for the largest failure",
+            low.messages_at(f_large),
+            high.messages_at(f_large),
+            minimum=2.0,
+        ),
+        Check(
+            "message trend mirrors the delay trend (low MRAI grows fastest)",
+            low.messages_at(f_large) / low.messages_at(f_small)
+            > high.messages_at(f_large) / high.messages_at(f_small),
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("messages",),
+        checks=checks,
+        profile_name=profile.name,
+    )

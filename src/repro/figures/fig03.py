@@ -1,0 +1,61 @@
+"""Fig 3 — Variation in convergence delay with MRAI.
+
+Paper claims (Sec 4.1):
+
+* delay vs MRAI is V-shaped (down to an optimum, then up) — the
+  Griffin-Premore curve;
+* the optimal MRAI *increases with failure size* (~0.5 s at 1%, ~1.25 s at
+  5% on the paper's 120-node 70-30 topology), so "it is not possible to
+  select a single ideal MRAI value for a network ... if we take multiple
+  failures into account".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.shapes import is_v_shaped, optimal_x
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    series_for_mrai_grid,
+    skewed_factory,
+)
+
+FIGURE_ID = "fig03"
+CAPTION = "Convergence delay vs MRAI for three failure sizes (70-30)"
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    factory = skewed_factory(profile)
+    series = [
+        series_for_mrai_grid(
+            profile, factory, fraction, label=f"{fraction:.1%} failure"
+        )
+        for fraction in profile.fig3_fractions
+    ]
+    optima = [optimal_x(s.xs, s.delays) for s in series]
+    checks = [
+        Check(
+            "optimal MRAI is non-decreasing in failure size",
+            all(a <= b for a, b in zip(optima, optima[1:])),
+            f"optima {optima}",
+        ),
+        Check(
+            "optimal MRAI strictly grows from smallest to largest failure",
+            optima[0] < optima[-1],
+            f"{optima[0]:g} -> {optima[-1]:g}",
+        ),
+        Check(
+            "largest-failure curve falls then rises (V shape)",
+            is_v_shaped(series[-1].xs, series[-1].delays, tolerance=0.35),
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )

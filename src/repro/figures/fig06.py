@@ -1,0 +1,87 @@
+"""Fig 6 — Effect of degree-dependent MRAI.
+
+Paper claims (Sec 4.2): with low MRAI (0.5 s) at the 70% low-degree nodes
+and high MRAI (2.25 s) at the 30% high-degree nodes, the large-failure
+delay is "almost the same as that with a constant MRAI of 2.25 seconds ...
+but significantly lower for small failures".  The reversed assignment
+behaves like the bad constant-0.5 configuration for large failures —
+convergence is governed by the high-degree nodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.degree_mrai import DegreeDependentMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import failure_size_sweep
+from repro.figures.common import (
+    FigureOutput,
+    ScaleProfile,
+    check_le,
+    check_ratio,
+    skewed_factory,
+)
+from repro.bgp.mrai import ConstantMRAI
+
+FIGURE_ID = "fig06"
+CAPTION = "Degree-dependent MRAI vs constants (70-30 topology)"
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    factory = skewed_factory(profile)
+    low, __, high = profile.mrai_three
+    schemes = [
+        (f"MRAI={low:g}s", ExperimentSpec(mrai=ConstantMRAI(low))),
+        (f"MRAI={high:g}s", ExperimentSpec(mrai=ConstantMRAI(high))),
+        (
+            f"low {low:g}, high {high:g}",
+            ExperimentSpec(mrai=DegreeDependentMRAI(low, high)),
+        ),
+        (
+            f"low {high:g}, high {low:g}",
+            ExperimentSpec(mrai=DegreeDependentMRAI(high, low)),
+        ),
+    ]
+    series = [
+        failure_size_sweep(
+            factory, spec, profile.fractions, profile.seeds, label=label
+        )
+        for label, spec in schemes
+    ]
+    const_low, const_high, good, reversed_ = series
+    f_small = profile.smallest_fraction
+    f_large = profile.largest_fraction
+    checks = [
+        check_le(
+            "degree-dependent (low fast, high slow) tracks constant-high "
+            "for the largest failure",
+            good.delay_at(f_large),
+            const_high.delay_at(f_large),
+            slack=1.5,
+        ),
+        check_le(
+            "degree-dependent beats constant-high for the smallest failure",
+            good.delay_at(f_small),
+            const_high.delay_at(f_small),
+        ),
+        check_le(
+            "degree-dependent beats constant-low for the largest failure",
+            good.delay_at(f_large),
+            const_low.delay_at(f_large),
+        ),
+        check_ratio(
+            "reversed assignment is bad for the largest failure "
+            "(near constant-low)",
+            reversed_.delay_at(f_large),
+            const_high.delay_at(f_large),
+            minimum=1.0,
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )

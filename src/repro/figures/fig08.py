@@ -1,0 +1,75 @@
+"""Fig 8 — Effect of upTh on the dynamic scheme (downTh = 0).
+
+Paper claims (Sec 4.3): a low upTh behaves like a constant high MRAI (too
+many nodes step up): comparatively high delay for small failures, low for
+large ones.  Raising upTh lowers the small-failure delays and raises the
+large-failure ones; results are good over a *range* of values (0.65 vs
+1.25 "doesn't have a big impact").
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import failure_size_sweep
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    skewed_factory,
+)
+
+FIGURE_ID = "fig08"
+CAPTION = "Dynamic MRAI: sensitivity to upTh (downTh=0)"
+
+UP_THRESHOLDS = (0.05, 0.65, 1.25)
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    factory = skewed_factory(profile)
+    series = [
+        failure_size_sweep(
+            factory,
+            ExperimentSpec(
+                mrai=DynamicMRAI(
+                    levels=profile.dynamic_levels, up_th=up, down_th=0.0
+                )
+            ),
+            profile.fractions,
+            profile.seeds,
+            label=f"upTh={up:g}s",
+        )
+        for up in UP_THRESHOLDS
+    ]
+    lowest, middle, highest = series
+    f_small = profile.smallest_fraction
+    f_large = profile.largest_fraction
+    checks = [
+        Check(
+            "low upTh hurts the smallest failures (acts like constant-high)",
+            lowest.delay_at(f_small) >= middle.delay_at(f_small) * 0.9,
+            f"{lowest.delay_at(f_small):.1f} vs {middle.delay_at(f_small):.1f}",
+            strict=False,
+        ),
+        Check(
+            "low upTh helps the largest failures",
+            lowest.delay_at(f_large) <= highest.delay_at(f_large) * 1.1,
+            f"{lowest.delay_at(f_large):.1f} vs {highest.delay_at(f_large):.1f}",
+            strict=False,
+        ),
+        Check(
+            "results are robust over a range of upTh (0.65 vs 1.25 close)",
+            middle.delay_at(f_large) <= highest.delay_at(f_large) * 1.75
+            and highest.delay_at(f_large) <= middle.delay_at(f_large) * 1.75,
+            f"{middle.delay_at(f_large):.1f} vs {highest.delay_at(f_large):.1f}",
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )

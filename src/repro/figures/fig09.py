@@ -1,0 +1,67 @@
+"""Fig 9 — Effect of downTh on the dynamic scheme (upTh = 0.65 s).
+
+Paper claim (Sec 4.3): "As we increase downTh, more nodes decrease their
+MRAI and the delays for larger failures are increased"; results are again
+similar over a range of values.
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import failure_size_sweep
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    skewed_factory,
+)
+
+FIGURE_ID = "fig09"
+CAPTION = "Dynamic MRAI: sensitivity to downTh (upTh=0.65)"
+
+DOWN_THRESHOLDS = (0.0, 0.05, 0.30)
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    factory = skewed_factory(profile)
+    series = [
+        failure_size_sweep(
+            factory,
+            ExperimentSpec(
+                mrai=DynamicMRAI(
+                    levels=profile.dynamic_levels, up_th=0.65, down_th=down
+                )
+            ),
+            profile.fractions,
+            profile.seeds,
+            label=f"downTh={down:g}s",
+        )
+        for down in DOWN_THRESHOLDS
+    ]
+    zero, paper_value, high = series
+    f_large = profile.largest_fraction
+    checks = [
+        Check(
+            "raising downTh does not help the largest failures",
+            high.delay_at(f_large) >= zero.delay_at(f_large) * 0.75,
+            f"downTh=0: {zero.delay_at(f_large):.1f}s, "
+            f"downTh=0.3: {high.delay_at(f_large):.1f}s",
+            strict=False,
+        ),
+        Check(
+            "results are robust over a range of downTh (0 vs 0.05 close)",
+            paper_value.delay_at(f_large) <= zero.delay_at(f_large) * 1.75
+            and zero.delay_at(f_large) <= paper_value.delay_at(f_large) * 1.75,
+            f"{zero.delay_at(f_large):.1f} vs {paper_value.delay_at(f_large):.1f}",
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )

@@ -1,0 +1,67 @@
+"""Fig 12 — Effect of batching with different MRAIs (5% failure).
+
+Paper claim (Sec 4.4): "the convergence delay decreases significantly with
+batching if the MRAI is less than the optimal value; however batching does
+not have much of an impact otherwise" — batching only helps when nodes are
+actually overloaded.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.shapes import optimal_x
+from repro.figures.common import (
+    Check,
+    FigureOutput,
+    ScaleProfile,
+    check_ratio,
+    series_for_mrai_grid,
+    skewed_factory,
+)
+
+FIGURE_ID = "fig12"
+CAPTION = "Batching vs FIFO across MRAI values (5% failure, 70-30)"
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    factory = skewed_factory(profile)
+    fifo = series_for_mrai_grid(
+        profile, factory, 0.05, label="FIFO", queue_discipline="fifo"
+    )
+    batched = series_for_mrai_grid(
+        profile, factory, 0.05, label="batching", queue_discipline="dest_batch"
+    )
+    lowest = min(profile.mrai_grid)
+    highest = max(profile.mrai_grid)
+    high_ratio = (
+        batched.delay_at(highest) / fifo.delay_at(highest)
+        if fifo.delay_at(highest)
+        else 1.0
+    )
+    checks = [
+        check_ratio(
+            "batching helps significantly below the optimal MRAI",
+            fifo.delay_at(lowest),
+            batched.delay_at(lowest),
+            minimum=1.25,
+        ),
+        Check(
+            "batching has little effect above the optimal MRAI",
+            0.60 <= high_ratio <= 1.40,
+            f"batched/FIFO delay ratio at MRAI={highest:g}: {high_ratio:.2f}",
+            strict=False,
+        ),
+        Check(
+            "batching's optimum is at or below the FIFO optimum",
+            optimal_x(batched.xs, batched.delays)
+            <= optimal_x(fifo.xs, fifo.delays),
+            strict=False,
+        ),
+    ]
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=[fifo, batched],
+        metrics=("delay",),
+        checks=checks,
+        profile_name=profile.name,
+    )

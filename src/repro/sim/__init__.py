@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the stand-in for the SSFNet simulation core used by the
+paper: a deterministic event heap with a floating-point clock, cancellable
+events, restartable timers with RFC-1771-style jitter, named pseudo-random
+streams derived from a single master seed, and lightweight tracing/statistics
+utilities.
+
+The kernel is deliberately protocol-agnostic; everything BGP-specific lives in
+:mod:`repro.bgp`.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import OnlineStats, SlidingWindowUtilization
+from repro.sim.timers import Jitter, Timer
+from repro.sim.trace import Counter, NullTracer, Tracer, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventQueue",
+    "Jitter",
+    "NullTracer",
+    "OnlineStats",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "SlidingWindowUtilization",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,160 @@
+"""The simulation engine.
+
+:class:`Simulator` owns the clock, the event queue, the random streams and an
+optional tracer.  It runs events strictly in timestamp order until the queue
+drains (*quiescence*), a time horizon is reached, or an event budget is
+exhausted.
+
+Quiescence-driven termination is what makes convergence measurement natural:
+a BGP network that has converged schedules no further events, so
+``sim.run()`` returns exactly when the protocol has gone silent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NullTracer, Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams (see :class:`RandomStreams`).
+        Two simulators built with the same seed and the same scheduling
+        sequence produce bit-identical runs.
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; defaults to a no-op.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self.rng = RandomStreams(seed)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` when quiescent."""
+        return self._queue.peek_time()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self._now!r}"
+            )
+        return self._queue.push(time, fn, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.  Idempotent."""
+        if not event.cancelled:
+            self._queue.note_cancelled(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until quiescence, the ``until`` horizon, or ``max_events``.
+
+        Returns the simulation time at which execution stopped.  When the
+        queue *drains* the clock stays at the last executed event (so a
+        convergence time can be read off directly and a later run still has
+        its full horizon); when stopping *on the horizon* the clock advances
+        to ``until`` so relative scheduling afterwards is anchored there.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            budget = max_events if max_events is not None else -1
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    return self._now
+                if budget == 0:
+                    return self._now
+                event = self._queue.pop()
+                self._now = event.time
+                self._events_executed += 1
+                if budget > 0:
+                    budget -= 1
+                event.fn(*event.args)
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns ``False`` when quiescent."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        self._events_executed += 1
+        event.fn(*event.args)
+        return True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero.
+
+        Random streams are *not* reseeded; construct a new simulator for a
+        statistically independent run.
+        """
+        self._queue.clear()
+        self._now = 0.0
+        self._events_executed = 0

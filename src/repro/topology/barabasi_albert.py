@@ -1,0 +1,64 @@
+"""Barabasi-Albert preferential-attachment topologies.
+
+BRITE's BA model [Barabasi & Albert 1999]: nodes join one at a time and
+attach ``m`` links to existing nodes with probability proportional to their
+current degree.  Produces the heavy-tailed degree distributions that the
+paper's skewed two-class distributions approximate in a controlled way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.topology.graph import (
+    DEFAULT_LINK_DELAY,
+    GRID_SIZE,
+    Router,
+    Topology,
+)
+from repro.topology.placement import place_on_grid
+
+
+def barabasi_albert_topology(
+    n: int,
+    m: int = 2,
+    seed: int = 0,
+    link_delay: float = DEFAULT_LINK_DELAY,
+    grid_size: float = GRID_SIZE,
+) -> Topology:
+    """Generate a BA graph with ``m`` attachments per new node.
+
+    The seed graph is a clique on ``m + 1`` nodes, so the result is always
+    connected.  Grid positions are uniform, as in the paper's setup.
+    """
+    if n < 3:
+        raise ValueError("need at least 3 nodes")
+    if not (1 <= m < n):
+        raise ValueError("need 1 <= m < n")
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    # repeated_nodes holds one entry per incident edge end — sampling from it
+    # is sampling proportionally to degree.
+    repeated_nodes: List[int] = []
+    seed_size = m + 1
+    for a in range(seed_size):
+        for b in range(a + 1, seed_size):
+            edges.append((a, b))
+            repeated_nodes.extend((a, b))
+    for new_node in range(seed_size, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated_nodes))
+        for target in sorted(targets):
+            edges.append((target, new_node))
+            repeated_nodes.extend((target, new_node))
+    positions = place_on_grid(list(range(n)), rng, grid_size)
+    topo = Topology(name=f"barabasi-albert-{n}-m{m}")
+    for node_id in range(n):
+        x, y = positions[node_id]
+        topo.add_router(Router(node_id=node_id, asn=node_id, x=x, y=y))
+    for a, b in sorted(set(edges)):
+        topo.connect(a, b, delay=link_delay)
+    topo.validate()
+    return topo

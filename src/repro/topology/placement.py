@@ -1,0 +1,65 @@
+"""Geometric placement of routers on the paper's 1000x1000 grid.
+
+The paper places routers uniformly at random on the grid and then fails
+contiguous regions (Sec 3.1).  For multi-router topologies, each AS owns a
+square region whose area is proportional to its router count (the paper
+assumes a perfect size/extent correlation, citing Lakhina et al. [19]) and
+its routers are placed inside that region.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import GRID_SIZE
+
+
+def place_on_grid(
+    node_ids: List[int],
+    rng: random.Random,
+    grid_size: float = GRID_SIZE,
+) -> Dict[int, Tuple[float, float]]:
+    """Uniform random positions for ``node_ids`` on the square grid."""
+    return {
+        node_id: (rng.uniform(0.0, grid_size), rng.uniform(0.0, grid_size))
+        for node_id in sorted(node_ids)
+    }
+
+
+def place_within_region(
+    node_ids: List[int],
+    center: Tuple[float, float],
+    half_extent: float,
+    rng: random.Random,
+    grid_size: float = GRID_SIZE,
+) -> Dict[int, Tuple[float, float]]:
+    """Uniform positions within a square region clipped to the grid."""
+    cx, cy = center
+    lo_x = max(0.0, cx - half_extent)
+    hi_x = min(grid_size, cx + half_extent)
+    lo_y = max(0.0, cy - half_extent)
+    hi_y = min(grid_size, cy + half_extent)
+    return {
+        node_id: (rng.uniform(lo_x, hi_x), rng.uniform(lo_y, hi_y))
+        for node_id in sorted(node_ids)
+    }
+
+
+def region_extent_for_size(
+    size: int,
+    total_size: int,
+    grid_size: float = GRID_SIZE,
+    coverage: float = 0.5,
+) -> float:
+    """Half-extent of an AS region proportional to its router share.
+
+    ``coverage`` is the fraction of the total grid area that all AS regions
+    would jointly cover if disjoint; 0.5 leaves room for overlap, which real
+    AS footprints certainly have.
+    """
+    if size < 1 or total_size < 1:
+        raise ValueError("sizes must be positive")
+    area = coverage * grid_size * grid_size * (size / total_size)
+    return max(1.0, math.sqrt(area) / 2.0)

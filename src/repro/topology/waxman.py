@@ -1,0 +1,118 @@
+"""Waxman random topologies (BRITE's geometric model).
+
+Waxman's model [Waxman 1988] connects nodes u, v with probability
+``alpha * exp(-d(u, v) / (beta * L))`` where L is the grid diagonal.  BRITE
+offers it as one of its AS-level generators; the paper lists it among the
+models its modified BRITE supports, so it is included for verification
+topologies and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.topology.graph import (
+    DEFAULT_LINK_DELAY,
+    GRID_SIZE,
+    Router,
+    Topology,
+    TopologyError,
+)
+from repro.topology.placement import place_on_grid
+
+
+def waxman_topology(
+    n: int,
+    alpha: float = 0.4,
+    beta: float = 0.25,
+    seed: int = 0,
+    link_delay: float = DEFAULT_LINK_DELAY,
+    grid_size: float = GRID_SIZE,
+    max_retries: int = 50,
+) -> Topology:
+    """Generate a connected Waxman graph on the grid.
+
+    Edges are sampled independently; if the result is disconnected the
+    smaller components are attached through their closest node pair (a
+    standard BRITE-style repair), and as a last resort the sampling is
+    retried with a fresh stream.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if not (0 < alpha <= 1) or beta <= 0:
+        raise ValueError("need 0 < alpha <= 1 and beta > 0")
+    rng = random.Random(seed)
+    diagonal = math.hypot(grid_size, grid_size)
+    for __ in range(max_retries):
+        positions = place_on_grid(list(range(n)), rng, grid_size)
+        edges: List[Tuple[int, int]] = []
+        for a in range(n):
+            ax, ay = positions[a]
+            for b in range(a + 1, n):
+                bx, by = positions[b]
+                dist = math.hypot(ax - bx, ay - by)
+                if rng.random() < alpha * math.exp(-dist / (beta * diagonal)):
+                    edges.append((a, b))
+        edges = _repair_connectivity(edges, positions, n)
+        if edges is None:
+            continue
+        topo = Topology(name=f"waxman-{n}")
+        for node_id in range(n):
+            x, y = positions[node_id]
+            topo.add_router(Router(node_id=node_id, asn=node_id, x=x, y=y))
+        for a, b in sorted(set(edges)):
+            topo.connect(a, b, delay=link_delay)
+        topo.validate()
+        return topo
+    raise TopologyError("could not generate a connected Waxman graph")
+
+
+def _repair_connectivity(
+    edges: List[Tuple[int, int]],
+    positions: dict,
+    n: int,
+) -> List[Tuple[int, int]] | None:
+    """Attach stray components via their geometrically closest node pair."""
+    adj: dict[int, set[int]] = {i: set() for i in range(n)}
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+
+    def component_of(start: int, seen: set[int]) -> set[int]:
+        comp = {start}
+        stack = [start]
+        seen.add(start)
+        while stack:
+            v = stack.pop()
+            for u in adj[v]:
+                if u not in seen:
+                    seen.add(u)
+                    comp.add(u)
+                    stack.append(u)
+        return comp
+
+    seen: set[int] = set()
+    comps = []
+    for i in range(n):
+        if i not in seen:
+            comps.append(component_of(i, seen))
+    if len(comps) == 1:
+        return edges
+    comps.sort(key=len, reverse=True)
+    main = comps[0]
+    result = list(edges)
+    for comp in comps[1:]:
+        best = None
+        for u in comp:
+            ux, uy = positions[u]
+            for v in main:
+                vx, vy = positions[v]
+                d = (ux - vx) ** 2 + (uy - vy) ** 2
+                if best is None or d < best[0]:
+                    best = (d, min(u, v), max(u, v))
+        assert best is not None
+        result.append((best[1], best[2]))
+        main |= comp
+    return result

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.mrai import ConstantMRAI
+from repro.bgp.network import BGPNetwork
+from repro.topology.graph import Topology, flat_topology_from_edges
+
+
+def line_topology(n: int = 4) -> Topology:
+    """0 - 1 - 2 - ... - (n-1)."""
+    return flat_topology_from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+def ring_topology(n: int = 5) -> Topology:
+    """A cycle of n nodes."""
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return flat_topology_from_edges(edges)
+
+
+def clique_topology(n: int = 4) -> Topology:
+    """Complete graph on n nodes (the Labovitz worst-case family)."""
+    edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    return flat_topology_from_edges(edges)
+
+
+def star_topology(n_leaves: int = 4) -> Topology:
+    """Node 0 is the hub; leaves are 1..n."""
+    return flat_topology_from_edges([(0, i) for i in range(1, n_leaves + 1)])
+
+
+def converged_network(
+    topology: Topology,
+    mrai: float = 0.5,
+    seed: int = 1,
+    **config_kwargs,
+) -> BGPNetwork:
+    """A network that has completed its warm-up convergence."""
+    config = BGPConfig(mrai_policy=ConstantMRAI(mrai), **config_kwargs)
+    network = BGPNetwork(topology, config, seed=seed)
+    network.start()
+    network.run_until_quiet(max_time=3600)
+    assert network.is_quiescent(), "warm-up did not converge"
+    return network
+
+
+@pytest.fixture
+def line4() -> Topology:
+    return line_topology(4)
+
+
+@pytest.fixture
+def ring5() -> Topology:
+    return ring_topology(5)
+
+
+@pytest.fixture
+def clique4() -> Topology:
+    return clique_topology(4)
+
+
+@pytest.fixture
+def star4() -> Topology:
+    return star_topology(4)

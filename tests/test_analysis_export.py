@@ -1,0 +1,93 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    figure_to_files,
+    save_series,
+    series_to_csv,
+    series_to_json,
+    series_to_records,
+)
+from repro.core.sweep import Series
+from repro.figures.common import Check, FigureOutput
+from repro.sim.stats import OnlineStats
+
+
+class FakeResult:
+    def __init__(self, delays, messages):
+        self.delay = OnlineStats()
+        self.delay.extend(delays)
+        self.messages = OnlineStats()
+        self.messages.extend(messages)
+        self.n = len(delays)
+        self.mean_delay = self.delay.mean
+        self.mean_messages = self.messages.mean
+
+
+def make_series():
+    series = Series(label="scheme-a", x_name="failure_fraction")
+    series.add(0.05, FakeResult([10.0, 12.0], [100, 110]))
+    series.add(0.10, FakeResult([20.0, 24.0], [200, 220]))
+    return series
+
+
+def test_records_structure():
+    records = series_to_records([make_series()])
+    assert len(records) == 2
+    first = records[0]
+    assert first["series"] == "scheme-a"
+    assert first["x"] == 0.05
+    assert first["trials"] == 2
+    assert first["delay_mean"] == pytest.approx(11.0)
+    assert first["delay_min"] == 10.0
+    assert first["delay_max"] == 12.0
+    assert first["messages_mean"] == pytest.approx(105.0)
+
+
+def test_csv_round_trip():
+    text = series_to_csv([make_series()])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[1]["series"] == "scheme-a"
+    assert float(rows[1]["delay_mean"]) == pytest.approx(22.0)
+
+
+def test_json_round_trip():
+    data = json.loads(series_to_json([make_series()]))
+    assert len(data["records"]) == 2
+    assert data["records"][0]["x_name"] == "failure_fraction"
+
+
+def test_save_series_by_suffix(tmp_path):
+    series = [make_series()]
+    csv_path = tmp_path / "out.csv"
+    save_series(series, csv_path)
+    assert csv_path.read_text().startswith("series,")
+    json_path = tmp_path / "out.json"
+    save_series(series, json_path)
+    assert json.loads(json_path.read_text())["records"]
+    with pytest.raises(ValueError):
+        save_series(series, tmp_path / "out.xml")
+
+
+def test_figure_to_files(tmp_path):
+    output = FigureOutput(
+        figure_id="figXX",
+        caption="test figure",
+        series=[make_series()],
+        metrics=("delay",),
+        checks=[Check("ok", True)],
+    )
+    written = figure_to_files(output, tmp_path / "exports")
+    suffixes = {p.suffix for p in written}
+    assert suffixes == {".csv", ".json", ".txt"}
+    for path in written:
+        assert path.exists()
+        assert path.stat().st_size > 0
+    text = (tmp_path / "exports" / "figXX.txt").read_text()
+    assert "test figure" in text

@@ -1,0 +1,110 @@
+"""Tests for the convergence-timeline probe."""
+
+import pytest
+
+from repro.analysis.timeseries import Probe, Sample, sparkline
+from repro.bgp.config import BGPConfig
+from repro.bgp.mrai import ConstantMRAI
+from repro.bgp.network import BGPNetwork
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.topology.skewed import skewed_topology
+from tests.conftest import converged_network, ring_topology
+
+
+def test_probe_records_samples_until_quiescence():
+    net = BGPNetwork(
+        ring_topology(6), BGPConfig(mrai_policy=ConstantMRAI(0.5)), seed=1
+    )
+    net.start()
+    probe = Probe(net, interval=0.1)
+    probe.start()
+    net.run_until_quiet()
+    assert len(probe.samples) >= 2
+    times = [s.time for s in probe.samples]
+    assert times == sorted(times)
+    # The probe detached: no events left.
+    assert net.sim.pending_events == 0
+
+
+def test_probe_observes_queue_buildup_under_failure():
+    net = converged_network(skewed_topology(40, seed=3), mrai=0.25)
+    probe = Probe(net, interval=0.1)
+    probe.start()
+    net.fail_nodes(set(net.topology.nodes_by_distance(500, 500)[:8]))
+    net.run_until_quiet()
+    assert probe.peak("total_queued") > 0
+    assert probe.peak("max_queue") > 0
+    # Eventually drains.
+    assert probe.samples[-1].total_queued == 0
+
+
+def test_probe_tracks_invalid_routes_spike_and_decay():
+    net = converged_network(skewed_topology(40, seed=3), mrai=0.25)
+    probe = Probe(net, interval=0.1)
+    probe.start()
+    net.fail_nodes(set(net.topology.nodes_by_distance(500, 500)[:8]))
+    net.run_until_quiet()
+    invalid = probe.series("invalid_routes")
+    assert max(invalid) > 0          # transient invalid routes existed
+    assert invalid[-1] == 0          # and were all cleaned up
+
+
+def test_probe_tracks_dynamic_mrai_levels():
+    net = BGPNetwork(
+        skewed_topology(40, seed=3),
+        BGPConfig(mrai_policy=DynamicMRAI()),
+        seed=1,
+    )
+    net.start()
+    net.run_until_quiet()
+    probe = Probe(net, interval=0.1, track_invalid_routes=False)
+    probe.start()
+    net.fail_nodes(set(net.topology.nodes_by_distance(500, 500)[:8]))
+    net.run_until_quiet()
+    seen_levels = set()
+    for sample in probe.samples:
+        seen_levels.update(sample.mrai_levels)
+    assert 0 in seen_levels
+    assert len(seen_levels) >= 2  # someone climbed the ladder
+
+
+def test_probe_stop_is_idempotent_and_start_once():
+    net = converged_network(ring_topology(4))
+    probe = Probe(net, interval=0.5)
+    probe.start()
+    probe.start()
+    probe.stop()
+    probe.stop()
+
+
+def test_probe_validation():
+    net = converged_network(ring_topology(4))
+    with pytest.raises(ValueError):
+        Probe(net, interval=0.0)
+
+
+def test_time_to_drain():
+    net = converged_network(skewed_topology(40, seed=3), mrai=0.25)
+    probe = Probe(net, interval=0.1, track_invalid_routes=False)
+    probe.start()
+    net.fail_nodes(set(net.topology.nodes_by_distance(500, 500)[:8]))
+    net.run_until_quiet()
+    drain = probe.time_to_drain("total_queued")
+    assert drain is not None
+    assert drain > 0
+
+
+def test_sample_is_frozen():
+    sample = Sample(0.0, 0, 0, None, 0, 0, 0)
+    with pytest.raises(AttributeError):
+        sample.time = 1.0
+
+
+def test_sparkline_rendering():
+    assert sparkline([]) == ""
+    line = sparkline([0, 1, 2, 4, 8])
+    assert len(line) == 5
+    assert line[0] == " "
+    assert line[-1] == "█"
+    # Downsampling caps the width.
+    assert len(sparkline(list(range(500)), width=50)) == 50

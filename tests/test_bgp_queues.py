@@ -1,0 +1,181 @@
+"""Unit tests for the update-queue disciplines."""
+
+import pytest
+
+from repro.bgp.messages import Update
+from repro.bgp.queues import (
+    DestinationBatchQueue,
+    FIFOQueue,
+    TCPBatchQueue,
+    make_queue,
+)
+
+
+def msg(dest, sender, path=(1,), t=0.0):
+    return Update(dest, path, sender, t)
+
+
+def wd(dest, sender, t=0.0):
+    return Update(dest, None, sender, t)
+
+
+# ---------------------------------------------------------------------------
+# FIFO
+# ---------------------------------------------------------------------------
+def test_fifo_order_one_at_a_time():
+    q = FIFOQueue()
+    messages = [msg(1, 10), msg(2, 11), msg(1, 12)]
+    for m in messages:
+        q.push(m)
+    assert len(q) == 3
+    out = []
+    while len(q):
+        batch, dropped = q.pop_batch()
+        assert dropped == 0
+        assert len(batch) == 1
+        out.append(batch[0])
+    assert out == messages
+
+
+def test_fifo_clear():
+    q = FIFOQueue()
+    q.push(msg(1, 10))
+    q.clear()
+    assert len(q) == 0
+
+
+# ---------------------------------------------------------------------------
+# Destination batching (the paper's scheme)
+# ---------------------------------------------------------------------------
+def test_dest_batch_drains_whole_destination():
+    q = DestinationBatchQueue()
+    q.push(msg(1, 10))
+    q.push(msg(2, 11))
+    q.push(msg(1, 12))
+    batch, dropped = q.pop_batch()
+    assert dropped == 0
+    assert [m.dest for m in batch] == [1, 1]
+    assert {m.sender for m in batch} == {10, 12}
+    assert len(q) == 1
+    batch2, __ = q.pop_batch()
+    assert [m.dest for m in batch2] == [2]
+
+
+def test_dest_batch_serves_destinations_in_arrival_order():
+    q = DestinationBatchQueue()
+    q.push(msg(5, 1))
+    q.push(msg(3, 1))
+    q.push(msg(5, 2))
+    first, __ = q.pop_batch()
+    assert first[0].dest == 5
+    second, __ = q.pop_batch()
+    assert second[0].dest == 3
+
+
+def test_dest_batch_drops_stale_from_same_neighbor():
+    q = DestinationBatchQueue()
+    old = msg(1, 10, path=(9, 8), t=1.0)
+    newer = msg(1, 10, path=(7,), t=2.0)
+    other = msg(1, 11, path=(5,), t=1.5)
+    q.push(old)
+    q.push(other)
+    q.push(newer)
+    batch, dropped = q.pop_batch()
+    assert dropped == 1
+    assert newer in batch
+    assert other in batch
+    assert old not in batch
+
+
+def test_dest_batch_withdrawal_supersedes_announcement():
+    q = DestinationBatchQueue()
+    q.push(msg(1, 10, path=(2,)))
+    q.push(wd(1, 10))
+    batch, dropped = q.pop_batch()
+    assert dropped == 1
+    assert len(batch) == 1
+    assert batch[0].is_withdrawal
+
+
+def test_dest_batch_len_counts_messages():
+    q = DestinationBatchQueue()
+    for i in range(5):
+        q.push(msg(i % 2, sender=i))
+    assert len(q) == 5
+    q.pop_batch()
+    assert len(q) == 2
+
+
+def test_dest_batch_clear():
+    q = DestinationBatchQueue()
+    q.push(msg(1, 10))
+    q.push(msg(2, 10))
+    q.clear()
+    assert len(q) == 0
+
+
+def test_dest_batch_reuse_destination_after_drain():
+    q = DestinationBatchQueue()
+    q.push(msg(1, 10))
+    q.pop_batch()
+    q.push(msg(1, 11))
+    batch, __ = q.pop_batch()
+    assert batch[0].sender == 11
+
+
+# ---------------------------------------------------------------------------
+# TCP-style batching (the Sec 4.4 baseline)
+# ---------------------------------------------------------------------------
+def test_tcp_batch_takes_fixed_size():
+    q = TCPBatchQueue(batch_size=3)
+    for i in range(5):
+        q.push(msg(i, sender=i))
+    batch, dropped = q.pop_batch()
+    assert dropped == 0
+    assert [m.dest for m in batch] == [0, 1, 2]
+    assert len(q) == 2
+
+
+def test_tcp_batch_dedups_within_batch_only():
+    q = TCPBatchQueue(batch_size=2)
+    first = msg(1, 10, path=(2,))
+    second = msg(1, 10, path=(3,))
+    third = msg(1, 10, path=(4,))
+    q.push(first)
+    q.push(second)
+    q.push(third)
+    batch, dropped = q.pop_batch()
+    # first and second fall in the same batch -> dedup to second.
+    assert dropped == 1
+    assert batch == [second]
+    batch2, dropped2 = q.pop_batch()
+    # third is alone in the next batch: no chance to dedup.
+    assert dropped2 == 0
+    assert batch2 == [third]
+
+
+def test_tcp_batch_different_senders_not_dedupped():
+    q = TCPBatchQueue(batch_size=4)
+    q.push(msg(1, 10))
+    q.push(msg(1, 11))
+    batch, dropped = q.pop_batch()
+    assert dropped == 0
+    assert len(batch) == 2
+
+
+def test_tcp_batch_size_validation():
+    with pytest.raises(ValueError):
+        TCPBatchQueue(batch_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+def test_make_queue():
+    assert isinstance(make_queue("fifo"), FIFOQueue)
+    assert isinstance(make_queue("dest_batch"), DestinationBatchQueue)
+    tcp = make_queue("tcp_batch", tcp_batch_size=5)
+    assert isinstance(tcp, TCPBatchQueue)
+    assert tcp.batch_size == 5
+    with pytest.raises(ValueError):
+        make_queue("bogus")

@@ -1,0 +1,136 @@
+"""Unit tests for routes, route comparison and the RIBs."""
+
+import pytest
+
+from repro.bgp.rib import AdjRibIn, LocRib, run_decision
+from repro.bgp.routes import Route, local_route
+
+
+# ---------------------------------------------------------------------------
+# Route preference
+# ---------------------------------------------------------------------------
+def test_shorter_path_preferred():
+    short = Route(1, (2, 1), peer=5)
+    long = Route(1, (3, 4, 1), peer=6)
+    assert short.better_than(long)
+    assert not long.better_than(short)
+
+
+def test_local_route_beats_learned():
+    local = local_route(1)
+    learned = Route(1, (2,), peer=5)
+    assert local.better_than(learned)
+    assert local.is_local
+    assert local.path_length == 0
+
+
+def test_ebgp_preferred_over_ibgp_on_equal_length():
+    ebgp = Route(1, (2, 1), peer=9, ebgp=True)
+    ibgp = Route(1, (3, 1), peer=5, ebgp=False)
+    assert ebgp.better_than(ibgp)
+
+
+def test_lowest_peer_breaks_full_ties():
+    a = Route(1, (2, 1), peer=3)
+    b = Route(1, (4, 1), peer=7)
+    assert a.better_than(b)
+
+
+def test_better_than_none():
+    assert Route(1, (2,), peer=3).better_than(None)
+
+
+def test_same_selection():
+    a = Route(1, (2, 1), peer=3)
+    b = Route(1, (2, 1), peer=3)
+    c = Route(1, (2, 1), peer=4)
+    assert a.same_selection(b)
+    assert not a.same_selection(c)
+    assert not a.same_selection(None)
+
+
+def test_contains_as():
+    route = Route(1, (2, 3, 4), peer=9)
+    assert route.contains_as(3)
+    assert not route.contains_as(9)
+
+
+# ---------------------------------------------------------------------------
+# Adj-RIB-In
+# ---------------------------------------------------------------------------
+def test_adj_rib_in_store_and_replace():
+    rib = AdjRibIn()
+    rib.store(Route(1, (2,), peer=5))
+    rib.store(Route(1, (3, 2), peer=5))  # same peer: replaces
+    assert rib.get(1, 5).path == (3, 2)
+    assert rib.route_count() == 1
+
+
+def test_adj_rib_in_rejects_local_routes():
+    rib = AdjRibIn()
+    with pytest.raises(ValueError):
+        rib.store(local_route(1))
+
+
+def test_adj_rib_in_withdraw():
+    rib = AdjRibIn()
+    rib.store(Route(1, (2,), peer=5))
+    assert rib.withdraw(1, 5)
+    assert not rib.withdraw(1, 5)  # already gone
+    assert rib.get(1, 5) is None
+    assert rib.destinations() == set()
+
+
+def test_adj_rib_in_drop_peer():
+    rib = AdjRibIn()
+    rib.store(Route(1, (2,), peer=5))
+    rib.store(Route(2, (3,), peer=5))
+    rib.store(Route(1, (4,), peer=6))
+    affected = rib.drop_peer(5)
+    assert sorted(affected) == [1, 2]
+    assert rib.get(1, 6) is not None
+    assert rib.route_count() == 1
+
+
+def test_adj_rib_in_candidates():
+    rib = AdjRibIn()
+    rib.store(Route(1, (2,), peer=5))
+    rib.store(Route(1, (3,), peer=6))
+    assert len(list(rib.candidates(1))) == 2
+    assert list(rib.candidates(99)) == []
+
+
+# ---------------------------------------------------------------------------
+# Loc-RIB
+# ---------------------------------------------------------------------------
+def test_loc_rib_set_get_delete():
+    rib = LocRib()
+    route = Route(1, (2,), peer=5)
+    rib.set(1, route)
+    assert rib.get(1) is route
+    assert len(rib) == 1
+    rib.set(1, None)
+    assert rib.get(1) is None
+    assert len(rib) == 0
+
+
+# ---------------------------------------------------------------------------
+# Decision process
+# ---------------------------------------------------------------------------
+def test_decision_picks_best_candidate():
+    rib = AdjRibIn()
+    rib.store(Route(1, (2, 3, 1), peer=5))
+    rib.store(Route(1, (4, 1), peer=6))
+    best = run_decision(rib, 1, own_prefixes=set())
+    assert best.peer == 6
+
+
+def test_decision_prefers_local_origin():
+    rib = AdjRibIn()
+    rib.store(Route(1, (2,), peer=5))
+    best = run_decision(rib, 1, own_prefixes={1})
+    assert best.is_local
+
+
+def test_decision_none_when_no_candidates():
+    assert run_decision(AdjRibIn(), 1, own_prefixes=set()) is None

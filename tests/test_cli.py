@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_mrai_policy, build_topology, main, make_parser
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.degree_mrai import DegreeDependentMRAI
+from repro.core.dynamic_mrai import DynamicMRAI
+
+
+def parse(argv):
+    return make_parser().parse_args(argv)
+
+
+def test_run_defaults():
+    args = parse(["run"])
+    assert args.nodes == 120
+    assert args.mrai == 0.5
+    assert args.queue == "fifo"
+    assert args.failure == 0.05
+
+
+def test_build_topology_variants():
+    args = parse(["run", "--nodes", "20", "--topology", "skewed"])
+    topo = build_topology(args)
+    assert topo.num_routers == 20
+
+    args = parse(["run", "--nodes", "20", "--topology", "internet"])
+    assert build_topology(args).num_routers == 20
+
+    args = parse(["run", "--nodes", "6", "--topology", "multirouter"])
+    multi = build_topology(args)
+    assert len(multi.as_numbers()) == 6
+
+
+def test_build_mrai_policy_variants():
+    args = parse(["run", "--mrai-scheme", "constant", "--mrai", "1.5"])
+    policy = build_mrai_policy(args)
+    assert isinstance(policy, ConstantMRAI)
+    assert policy.value == 1.5
+
+    args = parse(
+        ["run", "--mrai-scheme", "degree", "--mrai-low", "0.3", "--mrai-high", "3"]
+    )
+    policy = build_mrai_policy(args)
+    assert isinstance(policy, DegreeDependentMRAI)
+    assert policy.low_value == 0.3
+    assert policy.high_value == 3.0
+
+    args = parse(
+        ["run", "--mrai-scheme", "dynamic", "--up-th", "1.0", "--down-th", "0.1"]
+    )
+    policy = build_mrai_policy(args)
+    assert isinstance(policy, DynamicMRAI)
+    assert policy.up_th == 1.0
+    assert policy.down_th == 0.1
+
+
+def test_cli_run_end_to_end(capsys):
+    code = main(
+        [
+            "run",
+            "--nodes",
+            "20",
+            "--mrai",
+            "0.5",
+            "--failure",
+            "0.1",
+            "--seed",
+            "1",
+            "--validate",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "convergence delay" in captured.out
+    assert "update messages" in captured.out
+
+
+def test_cli_run_batching(capsys):
+    code = main(
+        ["run", "--nodes", "20", "--queue", "dest_batch", "--failure", "0.2"]
+    )
+    assert code == 0
+    assert "stale dropped" in capsys.readouterr().out
+
+
+def test_cli_sweep_unknown_figure(capsys):
+    code = main(["sweep", "--figure", "fig99"])
+    assert code == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

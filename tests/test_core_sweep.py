@@ -1,0 +1,77 @@
+"""Tests for sweeps and series."""
+
+import pytest
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import (
+    Series,
+    failure_size_sweep,
+    mrai_sweep,
+    scheme_comparison,
+)
+from repro.topology.skewed import skewed_topology
+
+
+def factory(seed):
+    return skewed_topology(24, seed=seed)
+
+
+def test_failure_size_sweep_structure():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5))
+    series = failure_size_sweep(
+        factory, spec, fractions=(0.1, 0.2), seeds=(1,), label="test"
+    )
+    assert series.label == "test"
+    assert series.x_name == "failure_fraction"
+    assert series.xs == [0.1, 0.2]
+    assert len(series.delays) == 2
+    assert all(d > 0 for d in series.delays)
+    assert all(m > 0 for m in series.message_counts)
+
+
+def test_failure_size_sweep_default_label_is_scheme_name():
+    spec = ExperimentSpec(mrai=ConstantMRAI(1.25))
+    series = failure_size_sweep(factory, spec, (0.1,), (1,))
+    assert "1.25" in series.label
+
+
+def test_mrai_sweep_overrides_policy():
+    spec = ExperimentSpec(mrai=ConstantMRAI(99.0), failure_fraction=0.1)
+    series = mrai_sweep(factory, spec, mrai_values=(0.5, 2.0), seeds=(1,))
+    assert series.xs == [0.5, 2.0]
+    assert series.x_name == "mrai"
+
+
+def test_series_lookup_and_argmin():
+    series = Series(label="s", x_name="x")
+
+    class FakeResult:
+        def __init__(self, delay, msgs):
+            self.mean_delay = delay
+            self.mean_messages = msgs
+
+    series.add(1.0, FakeResult(10.0, 100))
+    series.add(2.0, FakeResult(5.0, 50))
+    series.add(3.0, FakeResult(7.0, 70))
+    assert series.delay_at(2.0) == 5.0
+    assert series.messages_at(3.0) == 70
+    assert series.argmin_delay() == 2.0
+    with pytest.raises(KeyError):
+        series.delay_at(9.0)
+    with pytest.raises(KeyError):
+        series.messages_at(9.0)
+
+
+def test_series_argmin_empty():
+    with pytest.raises(ValueError):
+        Series(label="s", x_name="x").argmin_delay()
+
+
+def test_scheme_comparison_labels():
+    specs = {
+        "a": ExperimentSpec(mrai=ConstantMRAI(0.5)),
+        "b": ExperimentSpec(mrai=ConstantMRAI(2.0)),
+    }
+    series_list = scheme_comparison(factory, specs, (0.1,), (1,))
+    assert [s.label for s in series_list] == ["a", "b"]

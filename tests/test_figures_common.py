@@ -1,0 +1,88 @@
+"""Tests for the shared figure-harness infrastructure."""
+
+import pytest
+
+from repro.core.sweep import Series
+from repro.figures.common import (
+    QUICK,
+    ScaleProfile,
+    batching_scheme_sweep,
+    series_for_mrai_grid,
+    skewed_factory,
+    three_mrai_failure_sweep,
+)
+
+
+def tiny_profile(**overrides):
+    defaults = dict(
+        name="tiny-common",
+        nodes=16,
+        seeds=(1,),
+        fractions=(0.125, 0.25),
+        mrai_grid=(0.5, 2.25),
+        mrai_three=(0.5, 1.25, 2.25),
+        dynamic_levels=(0.5, 2.25),
+        fig3_fractions=(0.125, 0.25),
+        multirouter_ases=6,
+    )
+    defaults.update(overrides)
+    return ScaleProfile(**defaults)
+
+
+def test_three_mrai_sweep_is_memoized():
+    profile = tiny_profile(name="memo-test")
+    first = three_mrai_failure_sweep(profile)
+    second = three_mrai_failure_sweep(profile)
+    assert first is second  # same tuple object: cache hit
+    assert len(first) == 3
+    labels = [s.label for s in first]
+    assert labels == ["MRAI=0.5s", "MRAI=1.25s", "MRAI=2.25s"]
+
+
+def test_three_mrai_sweep_covers_all_fractions():
+    profile = tiny_profile(name="fraction-cover")
+    series = three_mrai_failure_sweep(profile)
+    for s in series:
+        assert s.xs == list(profile.fractions)
+        assert all(d > 0 for d in s.delays)
+
+
+def test_batching_scheme_sweep_layout():
+    profile = tiny_profile(name="batching-layout")
+    series = batching_scheme_sweep(profile)
+    labels = [s.label for s in series]
+    assert labels == [
+        "MRAI=0.5s",
+        "MRAI=2.25s",
+        "dynamic",
+        "batching",
+        "batch+dynamic",
+    ]
+    assert all(isinstance(s, Series) for s in series)
+
+
+def test_series_for_mrai_grid_uses_profile_grid_by_default():
+    profile = tiny_profile(name="grid-default")
+    factory = skewed_factory(profile)
+    series = series_for_mrai_grid(profile, factory, 0.25, label="x")
+    assert series.xs == list(profile.mrai_grid)
+    custom = series_for_mrai_grid(
+        profile, factory, 0.25, label="y", grid=(1.0,)
+    )
+    assert custom.xs == [1.0]
+
+
+def test_skewed_factory_deterministic_per_seed():
+    factory = skewed_factory(QUICK)
+    a = factory(3)
+    b = factory(3)
+    assert sorted(l.endpoints() for l in a.links) == sorted(
+        l.endpoints() for l in b.links
+    )
+
+
+def test_profile_is_hashable_and_frozen():
+    profile = tiny_profile(name="frozen")
+    hash(profile)
+    with pytest.raises(AttributeError):
+        profile.nodes = 99

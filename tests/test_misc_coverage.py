@@ -1,0 +1,196 @@
+"""Coverage for cross-cutting behaviours not owned by one module's suite."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.messages import Update
+from repro.bgp.mrai import ConstantMRAI
+from repro.bgp.network import BGPNetwork
+from repro.bgp.queues import WithdrawalFirstBatchQueue
+from repro.cli import main
+from repro.figures.bench import results_dir
+from repro.sim.engine import Simulator
+from tests.conftest import converged_network, line_topology, ring_topology
+
+
+# ---------------------------------------------------------------------------
+# Engine odds and ends
+# ---------------------------------------------------------------------------
+def test_peek_next_time():
+    sim = Simulator()
+    assert sim.peek_next_time() is None
+    sim.schedule(2.5, lambda: None)
+    assert sim.peek_next_time() == 2.5
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(event)
+    assert sim.pending_events == 1
+
+
+# ---------------------------------------------------------------------------
+# Network internals
+# ---------------------------------------------------------------------------
+def test_in_flight_update_accounting():
+    net = converged_network(line_topology(3))
+    assert net.routing_quiet()
+    net.transmit(0, 1, Update(99, (0, 99), 0, net.sim.now), 0.025)
+    assert not net.routing_quiet()
+    net.run_until_quiet()
+    assert net.routing_quiet()
+
+
+def test_routing_quiet_vs_is_quiescent_implicit_mode():
+    net = converged_network(ring_topology(4))
+    assert net.is_quiescent()
+    assert net.routing_quiet()
+    # A non-protocol event blocks is_quiescent but not routing_quiet.
+    net.sim.schedule(5.0, lambda: None)
+    assert not net.is_quiescent()
+    assert net.routing_quiet()
+
+
+def test_session_counters_absent_in_implicit_mode():
+    net = converged_network(line_topology(3))
+    assert net.counters["session_messages_sent"] == 0
+    assert net.counters["sessions_established"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Withdrawal-first queue: message conservation under random workloads
+# ---------------------------------------------------------------------------
+updates = st.lists(
+    st.builds(
+        Update,
+        dest=st.integers(min_value=0, max_value=5),
+        path=st.one_of(
+            st.none(),
+            st.lists(st.integers(min_value=0, max_value=9), max_size=3).map(
+                tuple
+            ),
+        ),
+        sender=st.integers(min_value=0, max_value=4),
+        sent_at=st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+@given(updates)
+def test_wf_queue_conserves_messages(messages):
+    q = WithdrawalFirstBatchQueue()
+    for m in messages:
+        q.push(m)
+    drained = 0
+    dropped = 0
+    while len(q):
+        batch, d = q.pop_batch()
+        drained += len(batch)
+        dropped += d
+        assert len({m.dest for m in batch}) == 1
+        assert len({m.sender for m in batch}) == len(batch)
+    assert drained + dropped == len(messages)
+
+
+@given(updates)
+def test_wf_queue_withdrawal_destinations_served_no_later(messages):
+    """Any destination with a queued withdrawal is served before any
+    destination without one (among those present at the same time)."""
+    q = WithdrawalFirstBatchQueue()
+    for m in messages:
+        q.push(m)
+    has_withdrawal = {
+        m.dest for m in messages if m.is_withdrawal
+    }
+    service_order = []
+    while len(q):
+        batch, __ = q.pop_batch()
+        service_order.append(batch[0].dest)
+    urgent_positions = [
+        i for i, d in enumerate(service_order) if d in has_withdrawal
+    ]
+    normal_positions = [
+        i for i, d in enumerate(service_order) if d not in has_withdrawal
+    ]
+    if urgent_positions and normal_positions:
+        assert max(urgent_positions) < min(normal_positions) + len(
+            urgent_positions
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI: export and list paths
+# ---------------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig01" in out
+    assert "ab_flap_damping" in out
+
+
+def test_cli_run_new_schemes(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "--nodes",
+                "20",
+                "--mrai-scheme",
+                "theory",
+                "--failure",
+                "0.1",
+            ]
+        )
+        == 0
+    )
+    assert "convergence delay" in capsys.readouterr().out
+
+
+def test_results_dir_is_repo_root():
+    path = results_dir()
+    assert path.name == "results"
+    assert (path.parent / "pyproject.toml").exists()
+
+
+# ---------------------------------------------------------------------------
+# Config cross-validation
+# ---------------------------------------------------------------------------
+def test_config_accepts_all_queue_disciplines():
+    for discipline in ("fifo", "dest_batch", "dest_batch_wf", "tcp_batch"):
+        BGPConfig(queue_discipline=discipline)
+
+
+def test_experiment_spec_detection_validation():
+    from repro.core.experiment import ExperimentSpec
+
+    with pytest.raises(ValueError):
+        ExperimentSpec(detection_delay=-1.0)
+    with pytest.raises(ValueError):
+        ExperimentSpec(detection_jitter=-0.5)
+
+
+def test_experiment_spec_detection_delay_applied():
+    from repro.core.experiment import ExperimentSpec, run_experiment
+    from repro.topology.skewed import skewed_topology
+
+    topo = skewed_topology(20, seed=1)
+    fast = run_experiment(
+        topo, ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1), seed=1
+    )
+    slow = run_experiment(
+        topo,
+        ExperimentSpec(
+            mrai=ConstantMRAI(0.5),
+            failure_fraction=0.1,
+            detection_delay=5.0,
+        ),
+        seed=1,
+    )
+    assert slow.convergence_delay > fast.convergence_delay + 4.0

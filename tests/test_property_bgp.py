@@ -1,0 +1,147 @@
+"""Property-based tests for BGP data structures and routing invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.messages import Update
+from repro.bgp.mrai import ConstantMRAI
+from repro.bgp.network import BGPNetwork
+from repro.bgp.queues import DestinationBatchQueue, TCPBatchQueue
+from repro.bgp.routes import Route
+from repro.core.validation import validate_routing
+from repro.topology.skewed import skewed_topology
+
+# ---------------------------------------------------------------------------
+# Route preference is a total order
+# ---------------------------------------------------------------------------
+routes = st.builds(
+    Route,
+    dest=st.just(1),
+    path=st.lists(st.integers(min_value=2, max_value=50), max_size=6).map(tuple),
+    peer=st.one_of(st.none(), st.integers(min_value=0, max_value=50)),
+    ebgp=st.booleans(),
+)
+
+
+@given(routes, routes, routes)
+def test_route_preference_total_order(a, b, c):
+    # Antisymmetry.
+    if a.better_than(b):
+        assert not b.better_than(a)
+    # Transitivity.
+    if a.better_than(b) and b.better_than(c):
+        assert a.better_than(c)
+    # Totality: either one is strictly better or the keys are equal.
+    assert (
+        a.better_than(b)
+        or b.better_than(a)
+        or a.preference_key() == b.preference_key()
+    )
+
+
+@given(routes)
+def test_route_never_better_than_itself(a):
+    assert not a.better_than(a)
+    assert a.same_selection(a)
+
+
+# ---------------------------------------------------------------------------
+# Queue disciplines conserve messages
+# ---------------------------------------------------------------------------
+updates = st.lists(
+    st.builds(
+        Update,
+        dest=st.integers(min_value=0, max_value=5),
+        path=st.one_of(
+            st.none(),
+            st.lists(st.integers(min_value=0, max_value=9), max_size=3).map(tuple),
+        ),
+        sender=st.integers(min_value=0, max_value=4),
+        sent_at=st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+@given(updates)
+def test_dest_batch_conserves_messages(messages):
+    q = DestinationBatchQueue()
+    for m in messages:
+        q.push(m)
+    drained = 0
+    dropped_total = 0
+    while len(q):
+        batch, dropped = q.pop_batch()
+        drained += len(batch)
+        dropped_total += dropped
+        # Batch is single-destination with unique senders.
+        assert len({m.dest for m in batch}) == 1
+        assert len({m.sender for m in batch}) == len(batch)
+    assert drained + dropped_total == len(messages)
+
+
+@given(updates)
+def test_dest_batch_keeps_newest_per_sender(messages):
+    q = DestinationBatchQueue()
+    for m in messages:
+        q.push(m)
+    retained = []
+    while len(q):
+        batch, __ = q.pop_batch()
+        retained.extend(batch)
+    # For every (dest, sender), the retained message is the last pushed.
+    last = {}
+    for m in messages:
+        last[(m.dest, m.sender)] = m
+    assert {id(m) for m in retained} == {id(m) for m in last.values()}
+
+
+@given(updates, st.integers(min_value=1, max_value=10))
+def test_tcp_batch_conserves_messages(messages, batch_size):
+    q = TCPBatchQueue(batch_size)
+    for m in messages:
+        q.push(m)
+    drained = 0
+    dropped_total = 0
+    while len(q):
+        batch, dropped = q.pop_batch()
+        assert len(batch) + dropped <= batch_size
+        drained += len(batch)
+        dropped_total += dropped
+    assert drained + dropped_total == len(messages)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end routing invariants on random small networks
+# ---------------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    topo_seed=st.integers(min_value=0, max_value=1000),
+    sim_seed=st.integers(min_value=0, max_value=1000),
+    mrai=st.sampled_from([0.0, 0.5, 2.25]),
+    discipline=st.sampled_from(["fifo", "dest_batch"]),
+    failure_seed=st.integers(min_value=0, max_value=1000),
+    failure_count=st.integers(min_value=1, max_value=6),
+)
+def test_random_failures_always_converge_to_valid_routing(
+    topo_seed, sim_seed, mrai, discipline, failure_seed, failure_count
+):
+    topo = skewed_topology(20, seed=topo_seed)
+    config = BGPConfig(
+        mrai_policy=ConstantMRAI(mrai), queue_discipline=discipline
+    )
+    net = BGPNetwork(topo, config, seed=sim_seed)
+    net.start()
+    net.run_until_quiet(max_time=3600)
+    assert net.is_quiescent()
+    validate_routing(net)
+    victims = random.Random(failure_seed).sample(
+        topo.node_ids(), failure_count
+    )
+    net.fail_nodes(victims)
+    net.run_until_quiet(max_time=7200)
+    assert net.is_quiescent()
+    validate_routing(net)

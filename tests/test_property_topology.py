@@ -1,0 +1,76 @@
+"""Property-based tests for degree sequences and realization."""
+
+import random
+from collections import Counter
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.degree import (
+    SkewedDegreeSpec,
+    ensure_connectable,
+    is_graphical,
+    make_graphical,
+    realize_degree_sequence,
+)
+
+degree_sequences = st.lists(
+    st.integers(min_value=0, max_value=20), min_size=2, max_size=40
+)
+
+
+@given(degree_sequences)
+def test_is_graphical_matches_networkx(sequence):
+    assert is_graphical(sequence) == nx.is_graphical(sequence)
+
+
+@given(degree_sequences)
+def test_make_graphical_always_produces_graphical(sequence):
+    fixed = make_graphical(sequence)
+    assert is_graphical(fixed)
+    assert len(fixed) == len(sequence)
+    assert all(d >= 0 for d in fixed)
+
+
+@given(degree_sequences)
+def test_ensure_connectable_meets_edge_budget(sequence):
+    thickened = ensure_connectable(sequence)
+    assert sum(thickened) >= 2 * (len(thickened) - 1)
+    # Only increases, never decreases.
+    assert all(t >= s for t, s in zip(thickened, sequence))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=6, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_realized_skewed_topology_is_simple_and_connected(n, seed):
+    rng = random.Random(seed)
+    sequence = SkewedDegreeSpec.paper_70_30().sample(n, rng)
+    edges = realize_degree_sequence(sequence, rng, connected=True)
+    # Simple graph: no dupes, no self loops.
+    assert len(edges) == len(set(edges))
+    assert all(a != b for a, b in edges)
+    # Connected.
+    graph = nx.Graph(edges)
+    graph.add_nodes_from(range(n))
+    assert nx.is_connected(graph)
+    # Degrees stay within the spec family's possible range (+1 for repair).
+    degree = Counter()
+    for a, b in edges:
+        degree[a] += 1
+        degree[b] += 1
+    assert all(1 <= degree[i] <= 9 for i in range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_realization_deterministic_for_seed(seed):
+    def build():
+        rng = random.Random(seed)
+        seq = SkewedDegreeSpec.paper_70_30().sample(20, rng)
+        return realize_degree_sequence(seq, rng, connected=True)
+
+    assert build() == build()

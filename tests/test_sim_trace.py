@@ -1,0 +1,87 @@
+"""Unit tests for tracing and counters."""
+
+from repro.sim.trace import Counter, NullTracer, Tracer, TraceRecord
+
+
+def test_tracer_records_events():
+    tracer = Tracer()
+    tracer.emit(1.0, "update_sent", 3, "dest", 7)
+    tracer.emit(2.0, "route_change", 4)
+    assert len(tracer) == 2
+    assert tracer.records[0] == TraceRecord(1.0, "update_sent", 3, ("dest", 7))
+
+
+def test_category_filter():
+    tracer = Tracer(categories={"update_sent"})
+    tracer.emit(1.0, "update_sent", 1)
+    tracer.emit(1.0, "route_change", 1)
+    assert len(tracer) == 1
+    assert list(tracer.by_category("route_change")) == []
+    assert len(list(tracer.by_category("update_sent"))) == 1
+
+
+def test_sink_is_invoked():
+    seen = []
+    tracer = Tracer(sink=seen.append)
+    tracer.emit(1.0, "x", None)
+    assert len(seen) == 1
+
+
+def test_keep_false_discards_records():
+    tracer = Tracer(keep=False)
+    tracer.emit(1.0, "x", None)
+    assert len(tracer) == 0
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.emit(1.0, "x", None)
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_null_tracer_drops_everything():
+    tracer = NullTracer()
+    tracer.emit(1.0, "x", None)
+    assert len(tracer) == 0
+    assert not tracer.enabled
+
+
+def test_record_str_contains_fields():
+    record = TraceRecord(1.5, "update_sent", 3, ("a",))
+    text = str(record)
+    assert "update_sent" in text
+    assert "node=3" in text
+
+
+def test_counter_incr_and_get():
+    counter = Counter()
+    counter.incr("a")
+    counter.incr("a", 2)
+    assert counter["a"] == 3
+    assert counter["missing"] == 0
+
+
+def test_counter_snapshot_is_a_copy():
+    counter = Counter()
+    counter.incr("a")
+    snap = counter.snapshot()
+    counter.incr("a")
+    assert snap == {"a": 1}
+    assert counter["a"] == 2
+
+
+def test_counter_diff():
+    counter = Counter()
+    counter.incr("a", 5)
+    snap = counter.snapshot()
+    counter.incr("a", 3)
+    counter.incr("b")
+    assert counter.diff(snap) == {"a": 3, "b": 1}
+
+
+def test_counter_reset():
+    counter = Counter()
+    counter.incr("a")
+    counter.reset()
+    assert counter["a"] == 0

@@ -1,0 +1,132 @@
+"""Unit tests for multi-router-per-AS topologies and placement helpers."""
+
+import random
+
+import pytest
+
+from repro.topology.graph import GRID_SIZE
+from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
+from repro.topology.placement import (
+    place_on_grid,
+    place_within_region,
+    region_extent_for_size,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        MultiRouterSpec(num_ases=2)
+    with pytest.raises(ValueError):
+        MultiRouterSpec(min_routers_per_as=0)
+    with pytest.raises(ValueError):
+        MultiRouterSpec(min_routers_per_as=5, max_routers_per_as=2)
+    with pytest.raises(ValueError):
+        MultiRouterSpec(pareto_alpha=0.0)
+    with pytest.raises(ValueError):
+        MultiRouterSpec(intra_as_chord_fraction=1.5)
+
+
+def test_as_size_sampling_bounds():
+    spec = MultiRouterSpec(min_routers_per_as=1, max_routers_per_as=10)
+    rng = random.Random(1)
+    sizes = [spec.sample_as_size(rng) for _ in range(500)]
+    assert all(1 <= s <= 10 for s in sizes)
+    # Heavy-tailed: small ASes dominate.
+    assert sizes.count(1) > sizes.count(10)
+
+
+def test_as_size_degenerate_range():
+    spec = MultiRouterSpec(min_routers_per_as=3, max_routers_per_as=3)
+    assert spec.sample_as_size(random.Random(0)) == 3
+
+
+def test_multi_router_topology_structure():
+    topo = multi_router_topology(MultiRouterSpec(num_ases=20), seed=5)
+    topo.validate()
+    assert len(topo.as_numbers()) == 20
+    assert topo.num_routers >= 20
+    assert not topo.is_flat() or topo.num_routers == 20
+    # Link kinds are consistent with AS membership.
+    for link in topo.links:
+        same_as = topo.as_of(link.a) == topo.as_of(link.b)
+        if link.kind == "intra_as":
+            assert same_as
+        else:
+            assert not same_as
+
+
+def test_every_as_internally_connected():
+    topo = multi_router_topology(MultiRouterSpec(num_ases=15), seed=7)
+    for asn in topo.as_numbers():
+        members = set(topo.as_members(asn))
+        if len(members) == 1:
+            continue
+        # BFS restricted to intra-AS links.
+        adj = {m: set() for m in members}
+        for link in topo.links:
+            if link.kind == "intra_as" and link.a in members:
+                adj[link.a].add(link.b)
+                adj[link.b].add(link.a)
+        start = next(iter(members))
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for u in adj[v]:
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        assert seen == members, f"AS {asn} not internally connected"
+
+
+def test_largest_ases_get_highest_degrees():
+    topo = multi_router_topology(MultiRouterSpec(num_ases=25), seed=3)
+    sizes = {asn: len(topo.as_members(asn)) for asn in topo.as_numbers()}
+    degrees = {asn: topo.inter_as_degree(asn) for asn in topo.as_numbers()}
+    largest = max(sizes, key=lambda a: (sizes[a], -a))
+    smallest = min(sizes, key=lambda a: (sizes[a], a))
+    if sizes[largest] > sizes[smallest]:
+        assert degrees[largest] >= degrees[smallest]
+
+
+def test_determinism():
+    a = multi_router_topology(MultiRouterSpec(num_ases=12), seed=9)
+    b = multi_router_topology(MultiRouterSpec(num_ases=12), seed=9)
+    assert sorted(l.endpoints() for l in a.links) == sorted(
+        l.endpoints() for l in b.links
+    )
+
+
+# ---------------------------------------------------------------------------
+# Placement helpers
+# ---------------------------------------------------------------------------
+def test_place_on_grid_bounds_and_determinism():
+    rng = random.Random(4)
+    positions = place_on_grid([3, 1, 2], rng)
+    assert set(positions) == {1, 2, 3}
+    for x, y in positions.values():
+        assert 0 <= x <= GRID_SIZE
+        assert 0 <= y <= GRID_SIZE
+    again = place_on_grid([3, 1, 2], random.Random(4))
+    assert positions == again
+
+
+def test_place_within_region_clips_to_grid():
+    rng = random.Random(1)
+    positions = place_within_region([0, 1], (0.0, 0.0), 100.0, rng)
+    for x, y in positions.values():
+        assert 0 <= x <= 100.0
+        assert 0 <= y <= 100.0
+
+
+def test_region_extent_proportional_to_size():
+    small = region_extent_for_size(1, 100)
+    large = region_extent_for_size(64, 100)
+    assert large > small
+    # Area scales linearly with size -> extent with sqrt(size).
+    assert large / small == pytest.approx(8.0, rel=0.01)
+
+
+def test_region_extent_validation():
+    with pytest.raises(ValueError):
+        region_extent_for_size(0, 10)
