@@ -50,6 +50,14 @@ from repro.failures import (
     random_failure,
     single_node_failure,
 )
+from repro.obs import (
+    EventLoopProfiler,
+    MetricsRegistry,
+    NetworkProbe,
+    ObsSession,
+    RunManifest,
+    observe,
+)
 from repro.topology import (
     InternetDegreeDistribution,
     MultiRouterSpec,
@@ -72,10 +80,15 @@ __all__ = [
     "DampingConfig",
     "DegreeDependentMRAI",
     "DynamicMRAI",
+    "EventLoopProfiler",
     "ExperimentResult",
     "ExperimentSpec",
     "FailureScenario",
     "GaoRexfordPolicy",
+    "MetricsRegistry",
+    "NetworkProbe",
+    "ObsSession",
+    "RunManifest",
     "SessionConfig",
     "InternetDegreeDistribution",
     "MultiRouterSpec",
@@ -93,6 +106,7 @@ __all__ = [
     "internet_like_topology",
     "mrai_sweep",
     "multi_router_topology",
+    "observe",
     "random_failure",
     "recommend_ladder",
     "recommend_mrai",

@@ -15,7 +15,7 @@ surface the experiment layer drives:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
 
 from repro.bgp.config import BGPConfig
 from repro.bgp.messages import Update
@@ -23,6 +23,9 @@ from repro.bgp.speaker import BGPSpeaker
 from repro.sim.engine import Simulator
 from repro.sim.trace import Counter, Tracer
 from repro.topology.graph import DEFAULT_LINK_DELAY, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 
 class BGPNetwork:
@@ -35,11 +38,19 @@ class BGPNetwork:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         ibgp_delay: float = DEFAULT_LINK_DELAY,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.topology = topology
         self.config = config if config is not None else BGPConfig()
         self.sim = Simulator(seed=seed, tracer=tracer)
-        self.counters = Counter()
+        #: Optional structured-metrics registry; when present the legacy
+        #: counters mirror into it and speakers record gauges/histograms.
+        self.metrics = metrics
+        self.counters = Counter(registry=metrics)
+        if metrics is not None:
+            self._g_in_flight = metrics.gauge("updates_in_flight")
+        else:
+            self._g_in_flight = None
         self.last_activity = 0.0
         self.speakers: Dict[int, BGPSpeaker] = {}
         self._failed: Set[int] = set()
@@ -108,10 +119,14 @@ class BGPNetwork:
             )
         self.note_activity()
         self._in_flight_updates += 1
+        if self._g_in_flight is not None:
+            self._g_in_flight.set(self._in_flight_updates)
         self.sim.schedule(delay, self._deliver, receiver_id, msg)
 
     def _deliver(self, receiver_id: int, msg: Update) -> None:
         self._in_flight_updates -= 1
+        if self._g_in_flight is not None:
+            self._g_in_flight.set(self._in_flight_updates)
         speaker = self.speakers[receiver_id]
         if not speaker.alive:
             self.counters.incr("updates_lost")

@@ -99,6 +99,30 @@ class BGPSpeaker:
         self._busy_since = 0.0
         self._svc_rng = network.sim.rng.get(f"svc/{node_id}")
         self._jitter_rng = network.sim.rng.get(f"jitter/{node_id}")
+        # Structured metrics (cached children so the hot path is a None
+        # check + method call; all None when observability is off).
+        metrics = network.metrics
+        if metrics is not None:
+            from repro.obs.metrics import (
+                DEFAULT_COUNT_BUCKETS,
+                DEFAULT_TIME_BUCKETS,
+            )
+
+            self._m_processed = metrics.counter(
+                "updates_processed", node=node_id
+            )
+            self._m_queue_depth = metrics.gauge("queue_depth", node=node_id)
+            self._m_service = metrics.histogram(
+                "update_service_seconds", buckets=DEFAULT_TIME_BUCKETS
+            )
+            self._m_batch = metrics.histogram(
+                "batch_updates", buckets=DEFAULT_COUNT_BUCKETS
+            )
+        else:
+            self._m_processed = None
+            self._m_queue_depth = None
+            self._m_service = None
+            self._m_batch = None
         #: Flap-damping penalty per (peer, dest); only populated when the
         #: config enables damping.
         self._damping: Dict[Tuple[int, int], DampingState] = {}
@@ -156,6 +180,8 @@ class BGPSpeaker:
         now = self.sim.now
         self.controller.on_update_received(now)
         self.controller.on_queue_sample(len(self.queue), now)
+        if self._m_queue_depth is not None:
+            self._m_queue_depth.set(len(self.queue))
         if not self._busy:
             self._begin_service()
 
@@ -168,6 +194,9 @@ class BGPSpeaker:
             service = sum(self._svc_rng.uniform(lo, hi) for __ in batch)
         else:
             service = 0.0
+        if self._m_service is not None:
+            self._m_service.observe(service)
+            self._m_batch.observe(len(batch))
         self._busy = True
         self._busy_since = self.sim.now
         self.sim.schedule(service, self._complete_batch, batch)
@@ -186,6 +215,9 @@ class BGPSpeaker:
         for dest in affected:
             self._reselect(dest)
         self.controller.on_queue_sample(len(self.queue), now)
+        if self._m_processed is not None:
+            self._m_processed.inc(len(batch))
+            self._m_queue_depth.set(len(self.queue))
         self.network.note_activity()
         if len(self.queue):
             self._begin_service()

@@ -83,6 +83,34 @@ def build_mrai_policy(
     raise ValueError(f"unknown MRAI scheme {args.mrai_scheme!r}")
 
 
+def _make_obs_session(args: argparse.Namespace):
+    """An ObsSession when any observability flag is set, else None."""
+    wants_obs = (
+        getattr(args, "metrics_out", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "sample_interval", None) is not None
+    )
+    if not wants_obs:
+        return None
+    from repro.obs.session import ObsSession
+
+    return ObsSession(
+        sample_interval=args.sample_interval, profile=args.profile
+    )
+
+
+def _finish_obs(obs, args: argparse.Namespace, command: str) -> None:
+    """Export/print whatever the session collected (shared by run/sweep)."""
+    if obs is None:
+        return
+    if args.metrics_out:
+        for path in obs.export(args.metrics_out, command=command):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.profile and obs.profiler is not None:
+        print()
+        print(obs.profiler.render(top_k=10))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     topology = build_topology(args)
     spec = ExperimentSpec(
@@ -92,7 +120,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         validate=args.validate,
     )
     print(topology.summary())
-    result = run_experiment(topology, spec, seed=args.seed)
+    obs = _make_obs_session(args)
+    result = run_experiment(topology, spec, seed=args.seed, obs=obs)
     print(f"failure size       : {result.failure_size} routers")
     print(f"warm-up time       : {result.warmup_time:.2f} s (sim)")
     print(f"convergence delay  : {result.convergence_delay:.2f} s (sim)")
@@ -101,6 +130,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  stale dropped    : {result.stale_dropped}")
     print(f"route changes      : {result.route_changes}")
     print(f"events executed    : {result.events_executed}")
+    print(
+        f"wall clock         : {result.warmup_wall:.2f} s warm-up, "
+        f"{result.convergence_wall:.2f} s convergence"
+    )
+    _finish_obs(obs, args, command="run")
     if result.truncated:
         print("WARNING: run truncated at max_convergence_time", file=sys.stderr)
         return 1
@@ -118,13 +152,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    output = compute_figure(args.figure, scale=args.scale)
+    obs = _make_obs_session(args)
+    if obs is not None:
+        from repro.obs.session import observe
+
+        with observe(obs):
+            output = compute_figure(args.figure, scale=args.scale)
+        obs.finalize(
+            kind="repro-sweep",
+            command=f"sweep --figure {args.figure} --scale {args.scale}",
+            extra={"figure": args.figure, "scale": args.scale},
+        )
+    else:
+        output = compute_figure(args.figure, scale=args.scale)
     print(output.render())
     if args.export:
         from repro.analysis.export import figure_to_files
 
         for path in figure_to_files(output, args.export):
             print(f"wrote {path}", file=sys.stderr)
+    _finish_obs(obs, args, command=f"sweep --figure {args.figure}")
     return 0
 
 
@@ -159,6 +206,35 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def positive_float(text):
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive number, got {text!r}"
+            )
+        return value
+
+    def add_obs_args(parser_):
+        parser_.add_argument(
+            "--metrics-out",
+            metavar="DIR",
+            help=(
+                "write manifest.json, metrics.jsonl, timeseries.csv and "
+                "aggregates.csv into DIR"
+            ),
+        )
+        parser_.add_argument(
+            "--sample-interval",
+            type=positive_float,
+            metavar="S",
+            help="sample per-node time series every S simulated seconds",
+        )
+        parser_.add_argument(
+            "--profile",
+            action="store_true",
+            help="profile the event loop and print a top-10 hotspot table",
+        )
 
     def add_topology_args(parser_):
         parser_.add_argument("--nodes", type=int, default=120)
@@ -196,6 +272,7 @@ def make_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--failure", type=float, default=0.05)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--validate", action="store_true")
+    add_obs_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="regenerate one paper figure")
@@ -208,6 +285,7 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write CSV/JSON/text exports into DIR",
     )
+    add_obs_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     list_p = sub.add_parser(

@@ -22,6 +22,7 @@ from repro.core.dynamic_mrai import (
 from repro.core.experiment import (
     ExperimentResult,
     ExperimentSpec,
+    Progress,
     TrialResult,
     run_experiment,
     run_trials,
@@ -45,6 +46,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "MessageCountController",
+    "Progress",
     "RoutingViolation",
     "Series",
     "SweepPoint",

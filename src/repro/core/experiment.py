@@ -18,8 +18,11 @@ paper's were.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.session import ObsSession, active_session
 
 from repro.bgp.config import DEFAULT_PROCESSING_RANGE, BGPConfig
 from repro.bgp.damping import DampingConfig
@@ -116,6 +119,11 @@ class TrialResult:
     events_executed: int
     seed: int
     truncated: bool
+    #: Wall-clock (not simulated) seconds spent in each phase, so BENCH
+    #: records can track simulator speed across perf PRs.  Excluded from
+    #: equality: two identical simulations differ in host timing noise.
+    warmup_wall: float = field(default=0.0, compare=False)
+    convergence_wall: float = field(default=0.0, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -125,21 +133,66 @@ class TrialResult:
         )
 
 
+#: TrialResult attributes tracked incrementally by ExperimentResult.
+_TRACKED_STATS = (
+    "convergence_delay",
+    "messages_sent",
+    "warmup_wall",
+    "convergence_wall",
+)
+
+
 @dataclass
 class ExperimentResult:
-    """Aggregate over trials of the same spec."""
+    """Aggregate over trials of the same spec.
+
+    Headline statistics (delay, messages, wall clocks) are maintained as
+    :class:`OnlineStats` accumulators folded in :meth:`add`, so two
+    results can be combined with :meth:`merge` — via
+    :meth:`OnlineStats.merge` — without re-streaming every trial.
+    """
 
     spec: ExperimentSpec
     trials: List[TrialResult] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._acc: Dict[str, OnlineStats] = {
+            attr: OnlineStats() for attr in _TRACKED_STATS
+        }
+        for trial in self.trials:
+            self._fold(trial)
+
+    def _fold(self, trial: TrialResult) -> None:
+        for attr in _TRACKED_STATS:
+            self._acc[attr].add(getattr(trial, attr))
+
     def add(self, trial: TrialResult) -> None:
         self.trials.append(trial)
+        self._fold(trial)
+
+    def merge(self, other: "ExperimentResult") -> "ExperimentResult":
+        """A new result covering both trial sets (specs must match)."""
+        if self.spec is not other.spec and self.spec != other.spec:
+            raise ValueError("cannot merge results of different specs")
+        merged = ExperimentResult(spec=self.spec)
+        merged.trials = [*self.trials, *other.trials]
+        for attr in _TRACKED_STATS:
+            merged._acc[attr] = self._acc[attr].merge(other._acc[attr])
+        return merged
 
     @property
     def n(self) -> int:
         return len(self.trials)
 
     def _stats(self, attr: str) -> OnlineStats:
+        """Statistics over any TrialResult attribute.
+
+        Tracked attributes come from the incremental accumulators; others
+        are computed on demand.  Treat the returned object as read-only.
+        """
+        cached = self._acc.get(attr)
+        if cached is not None:
+            return cached
         stats = OnlineStats()
         stats.extend(getattr(t, attr) for t in self.trials)
         return stats
@@ -153,12 +206,29 @@ class ExperimentResult:
         return self._stats("messages_sent")
 
     @property
+    def warmup_wall(self) -> OnlineStats:
+        return self._stats("warmup_wall")
+
+    @property
+    def convergence_wall(self) -> OnlineStats:
+        return self._stats("convergence_wall")
+
+    @property
     def mean_delay(self) -> float:
         return self.delay.mean
 
     @property
     def mean_messages(self) -> float:
         return self.messages.mean
+
+    @property
+    def total_wall(self) -> float:
+        """Total wall-clock seconds spent simulating these trials."""
+        return (
+            self._acc["warmup_wall"].mean * self._acc["warmup_wall"].n
+            + self._acc["convergence_wall"].mean
+            * self._acc["convergence_wall"].n
+        )
 
     def __str__(self) -> str:
         d = self.delay
@@ -167,6 +237,39 @@ class ExperimentResult:
             f"{self.n} trials: delay {d.mean:.2f}s (+/-{d.stdev:.2f}), "
             f"messages {m.mean:.0f} (+/-{m.stdev:.0f})"
         )
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One progress tick of a multi-trial run or sweep."""
+
+    done: int
+    total: int
+    elapsed: float
+    label: str = ""
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    @property
+    def eta(self) -> float:
+        """Estimated remaining wall-clock seconds (inf before any data)."""
+        if self.done == 0:
+            return float("inf")
+        return self.elapsed / self.done * (self.total - self.done)
+
+    def __str__(self) -> str:
+        eta = "?" if self.eta == float("inf") else f"{self.eta:.0f}s"
+        label = f" {self.label}" if self.label else ""
+        return (
+            f"[{self.done}/{self.total}]{label} "
+            f"elapsed {self.elapsed:.0f}s eta {eta}"
+        )
+
+
+#: Signature of the optional progress callback.
+ProgressFn = Callable[[Progress], None]
 
 
 def build_scenario(
@@ -186,35 +289,74 @@ def run_experiment(
     spec: ExperimentSpec,
     seed: int = 0,
     scenario: Optional[FailureScenario] = None,
+    obs: Optional[ObsSession] = None,
 ) -> TrialResult:
-    """One full warm-up + failure + convergence measurement."""
-    network = BGPNetwork(topology, spec.to_bgp_config(), seed=seed)
+    """One full warm-up + failure + convergence measurement.
+
+    ``obs`` wires an :class:`~repro.obs.session.ObsSession` through the
+    run: the network's counters mirror into the session's metrics
+    registry, a probe samples per-node time series, the profiler (when
+    enabled) accounts event-loop wall time, and warm-up / failure /
+    convergence phase timings are recorded.  When ``obs`` is None the
+    session installed by :func:`repro.obs.session.observe` (if any) is
+    used, so sweeps deep inside the figure harness can be observed
+    without threading a parameter through every layer.  Observation is
+    passive: the protocol trajectory is bit-identical with or without it.
+    """
+    if obs is None:
+        obs = active_session()
+    metrics = obs.registry if obs is not None else None
+    network = BGPNetwork(topology, spec.to_bgp_config(), seed=seed, metrics=metrics)
+    if obs is not None:
+        obs.attach(network)
+
+    wall0 = time.perf_counter()
     network.start()
     network.run_until_quiet(max_time=spec.max_warmup_time)
+    warmup_wall = time.perf_counter() - wall0
     if not network.is_quiescent():
         raise RuntimeError(
             f"warm-up did not converge within {spec.max_warmup_time}s "
             f"of simulated time"
         )
     warmup_time = network.last_activity
+    warmup_events = network.sim.events_executed
     warmup_snapshot = network.counters.snapshot()
+    if obs is not None:
+        obs.record_phase(
+            "warmup", warmup_wall, sim_seconds=warmup_time, events=warmup_events
+        )
     if spec.validate:
         validate_routing(network)
 
     if scenario is None:
         scenario = build_scenario(topology, spec, seed)
+    wall1 = time.perf_counter()
     t0 = network.fail_nodes(
         scenario.nodes,
         detection_delay=spec.detection_delay,
         detection_jitter=spec.detection_jitter,
     )
+    if obs is not None:
+        obs.record_phase("failure", time.perf_counter() - wall1)
+        obs.on_failure(network)
+
+    wall2 = time.perf_counter()
     network.run_until_quiet(max_time=t0 + spec.max_convergence_time)
+    convergence_wall = time.perf_counter() - wall2
     truncated = not network.is_quiescent()
+    if obs is not None:
+        obs.record_phase(
+            "convergence",
+            convergence_wall,
+            sim_seconds=network.last_activity - t0,
+            events=network.sim.events_executed - warmup_events,
+        )
     if spec.validate and not truncated:
         validate_routing(network)
 
     diff = network.counters.diff(warmup_snapshot)
-    return TrialResult(
+    result = TrialResult(
         convergence_delay=network.last_activity - t0,
         messages_sent=diff.get("updates_sent", 0),
         withdrawals_sent=diff.get("withdrawals_sent", 0),
@@ -228,22 +370,49 @@ def run_experiment(
         events_executed=network.sim.events_executed,
         seed=seed,
         truncated=truncated,
+        warmup_wall=warmup_wall,
+        convergence_wall=convergence_wall,
     )
+    if obs is not None:
+        obs.note_trial(
+            spec=spec,
+            seed=seed,
+            topology=topology.summary(),
+            counters=network.counters.snapshot(),
+            result=result,
+        )
+    return result
 
 
 def run_trials(
     topology_factory: Callable[[int], Topology],
     spec: ExperimentSpec,
     seeds: Sequence[int],
+    progress: Optional[ProgressFn] = None,
+    obs: Optional[ObsSession] = None,
 ) -> ExperimentResult:
     """Run one trial per seed, each on its own topology instance.
 
     ``topology_factory(seed)`` lets trials vary the topology realization
     the way the paper's repeated runs did; pass ``lambda s: fixed_topo`` to
     hold the topology constant and vary only the protocol randomness.
+    ``progress`` (when given) is called after every trial with a
+    :class:`Progress` carrying done/total counts, elapsed wall time and an
+    ETA; ``obs`` is forwarded to every :func:`run_experiment`.
     """
     result = ExperimentResult(spec=spec)
-    for seed in seeds:
+    start = time.perf_counter()
+    total = len(seeds)
+    for done, seed in enumerate(seeds, start=1):
         topology = topology_factory(seed)
-        result.add(run_experiment(topology, spec, seed=seed))
+        result.add(run_experiment(topology, spec, seed=seed, obs=obs))
+        if progress is not None:
+            progress(
+                Progress(
+                    done=done,
+                    total=total,
+                    elapsed=time.perf_counter() - start,
+                    label=spec.mrai.name,
+                )
+            )
     return result

@@ -9,6 +9,7 @@ text tables recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -16,9 +17,39 @@ from repro.bgp.mrai import ConstantMRAI
 from repro.core.experiment import (
     ExperimentResult,
     ExperimentSpec,
+    Progress,
+    ProgressFn,
     run_trials,
 )
 from repro.topology.graph import Topology
+
+
+def _sweep_reporter(
+    progress: Optional[ProgressFn], total: int, label: str
+) -> Optional[ProgressFn]:
+    """Adapt a sweep-wide progress callback to per-trial ticks.
+
+    ``run_trials`` reports done/total *within one point*; the closure
+    returned here re-bases those ticks onto the whole sweep so the ETA
+    covers every remaining trial, not just the current point's.
+    """
+    if progress is None:
+        return None
+    state = {"done": 0}
+    start = time.perf_counter()
+
+    def tick(point_progress: Progress) -> None:
+        state["done"] += 1
+        progress(
+            Progress(
+                done=state["done"],
+                total=total,
+                elapsed=time.perf_counter() - start,
+                label=label or point_progress.label,
+            )
+        )
+
+    return tick
 
 
 @dataclass
@@ -85,16 +116,25 @@ def failure_size_sweep(
     fractions: Sequence[float],
     seeds: Sequence[int],
     label: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Series:
-    """Sweep the failure size, holding the scheme fixed (Figs 1/2/6-11)."""
+    """Sweep the failure size, holding the scheme fixed (Figs 1/2/6-11).
+
+    ``progress`` receives one :class:`Progress` tick per completed trial,
+    with totals and ETA covering the whole sweep.
+    """
     series = Series(
         label=label or spec.mrai.name, x_name="failure_fraction"
+    )
+    tick = _sweep_reporter(
+        progress, len(fractions) * len(seeds), series.label
     )
     for fraction in fractions:
         result = run_trials(
             topology_factory,
             spec.with_(failure_fraction=fraction),
             seeds,
+            progress=tick,
         )
         series.add(fraction, result)
     return series
@@ -106,14 +146,19 @@ def mrai_sweep(
     mrai_values: Sequence[float],
     seeds: Sequence[int],
     label: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Series:
     """Sweep a constant MRAI, holding the failure fixed (Figs 3/4/5/12)."""
     series = Series(label=label or "delay-vs-mrai", x_name="mrai")
+    tick = _sweep_reporter(
+        progress, len(mrai_values) * len(seeds), series.label
+    )
     for value in mrai_values:
         result = run_trials(
             topology_factory,
             spec.with_(mrai=ConstantMRAI(value)),
             seeds,
+            progress=tick,
         )
         series.add(value, result)
     return series
@@ -124,9 +169,26 @@ def scheme_comparison(
     specs: Dict[str, ExperimentSpec],
     fractions: Sequence[float],
     seeds: Sequence[int],
+    progress: Optional[ProgressFn] = None,
 ) -> List[Series]:
-    """Several schemes swept over failure sizes (Figs 6/7/10/13)."""
-    return [
-        failure_size_sweep(topology_factory, spec, fractions, seeds, label)
-        for label, spec in specs.items()
-    ]
+    """Several schemes swept over failure sizes (Figs 6/7/10/13).
+
+    Progress ticks span all schemes: done/total count every trial of
+    every scheme's sweep.
+    """
+    tick = _sweep_reporter(
+        progress, len(specs) * len(fractions) * len(seeds), ""
+    )
+    out = []
+    for label, spec in specs.items():
+        series = Series(label=label, x_name="failure_fraction")
+        for fraction in fractions:
+            result = run_trials(
+                topology_factory,
+                spec.with_(failure_fraction=fraction),
+                seeds,
+                progress=tick,
+            )
+            series.add(fraction, result)
+        out.append(series)
+    return out

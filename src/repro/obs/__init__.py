@@ -1,0 +1,57 @@
+"""Observability layer: metrics, probes, profiling, manifests, exporters.
+
+The package the ROADMAP's perf work stands on: every signal the paper's
+dynamic-MRAI argument rests on (unfinished work, queue depth, MRAI ladder
+level) is exposed as a per-node time series; every run can emit a metrics
+registry, a provenance manifest with wall-clock phase timings, and an
+event-loop hotspot profile.  See docs/OBSERVABILITY.md for the catalogue.
+"""
+
+from repro.obs.manifest import PhaseTiming, RunManifest, host_fingerprint
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    CounterMetric,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+)
+from repro.obs.probes import AggregateSample, NetworkProbe, NodeSample, percentile
+from repro.obs.profiling import EventLoopProfiler, HandlerStats, handler_category
+from repro.obs.export import (
+    write_aggregates_csv,
+    write_jsonl,
+    write_manifest,
+    write_metrics_jsonl,
+    write_timeseries_csv,
+)
+from repro.obs.session import ObsSession, active_session, observe
+
+__all__ = [
+    "AggregateSample",
+    "CounterMetric",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "EventLoopProfiler",
+    "Gauge",
+    "HandlerStats",
+    "Histogram",
+    "MetricsRegistry",
+    "NetworkProbe",
+    "NodeSample",
+    "ObsSession",
+    "PhaseTiming",
+    "RunManifest",
+    "active_session",
+    "format_metric_name",
+    "handler_category",
+    "host_fingerprint",
+    "observe",
+    "percentile",
+    "write_aggregates_csv",
+    "write_jsonl",
+    "write_manifest",
+    "write_metrics_jsonl",
+    "write_timeseries_csv",
+]

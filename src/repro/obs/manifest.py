@@ -1,0 +1,189 @@
+"""Run manifests: what ran, where, with which knobs, how long each phase took.
+
+A manifest is the provenance record written next to every metrics export:
+enough to re-run the experiment (spec fields + seeds + package version) and
+enough to compare simulator *speed* across commits (wall-clock phase
+timings for warm-up / failure / convergence, host fingerprint).  Manifests
+round-trip through JSON losslessly via :meth:`RunManifest.save` /
+:meth:`RunManifest.load`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import socket
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of arbitrary config objects to JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return repr(value)
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Where the run happened (for wall-clock comparability)."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "hostname": socket.gethostname(),
+    }
+
+
+@dataclass
+class PhaseTiming:
+    """One named phase of a run: wall-clock plus simulation-side extent."""
+
+    name: str
+    wall_seconds: float
+    sim_seconds: float = 0.0
+    events: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PhaseTiming":
+        return cls(
+            name=data["name"],
+            wall_seconds=data["wall_seconds"],
+            sim_seconds=data.get("sim_seconds", 0.0),
+            events=data.get("events", 0),
+        )
+
+
+@dataclass
+class RunManifest:
+    """Provenance + timing record of one experiment or sweep run."""
+
+    kind: str = "repro-run"
+    created_utc: str = ""
+    package_version: str = ""
+    host: Dict[str, str] = field(default_factory=dict)
+    command: str = ""
+    spec: Dict[str, Any] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=list)
+    topology: str = ""
+    phases: List[PhaseTiming] = field(default_factory=list)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        kind: str = "repro-run",
+        command: str = "",
+        spec: Any = None,
+        seeds: Optional[List[int]] = None,
+        topology: str = "",
+        phases: Optional[List[PhaseTiming]] = None,
+        counters: Optional[Dict[str, Any]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        """A manifest stamped with now, the package version and the host."""
+        from repro import __version__
+
+        return cls(
+            kind=kind,
+            created_utc=datetime.now(timezone.utc).isoformat(),
+            package_version=__version__,
+            host=host_fingerprint(),
+            command=command,
+            spec=jsonable(spec) if spec is not None else {},
+            seeds=list(seeds) if seeds else [],
+            topology=topology,
+            phases=list(phases) if phases else [],
+            counters=dict(counters) if counters else {},
+            extra=dict(extra) if extra else {},
+        )
+
+    # ------------------------------------------------------------------
+    def add_phase(
+        self,
+        name: str,
+        wall_seconds: float,
+        sim_seconds: float = 0.0,
+        events: int = 0,
+    ) -> PhaseTiming:
+        timing = PhaseTiming(name, wall_seconds, sim_seconds, events)
+        self.phases.append(timing)
+        return timing
+
+    def phase(self, name: str) -> Optional[PhaseTiming]:
+        for timing in self.phases:
+            if timing.name == name:
+                return timing
+        return None
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(p.wall_seconds for p in self.phases)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "created_utc": self.created_utc,
+            "package_version": self.package_version,
+            "host": dict(self.host),
+            "command": self.command,
+            "spec": self.spec,
+            "seeds": list(self.seeds),
+            "topology": self.topology,
+            "phases": [p.to_dict() for p in self.phases],
+            "counters": dict(self.counters),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        return cls(
+            kind=data.get("kind", "repro-run"),
+            created_utc=data.get("created_utc", ""),
+            package_version=data.get("package_version", ""),
+            host=dict(data.get("host", {})),
+            command=data.get("command", ""),
+            spec=data.get("spec", {}),
+            seeds=list(data.get("seeds", [])),
+            topology=data.get("topology", ""),
+            phases=[PhaseTiming.from_dict(p) for p in data.get("phases", [])],
+            counters=dict(data.get("counters", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)

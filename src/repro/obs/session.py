@@ -1,0 +1,243 @@
+"""The observation session: one object that bundles the whole obs layer.
+
+:class:`ObsSession` owns a :class:`~repro.obs.metrics.MetricsRegistry`, an
+optional :class:`~repro.obs.profiling.EventLoopProfiler`, the per-trial
+:class:`~repro.obs.probes.NetworkProbe` instances, phase timings and the
+final :class:`~repro.obs.manifest.RunManifest`.  The experiment layer only
+ever talks to the session:
+
+* :func:`repro.core.experiment.run_experiment` accepts ``obs=`` and calls
+  :meth:`attach` / :meth:`on_failure` / :meth:`record_phase` /
+  :meth:`note_trial` at the right points;
+* deeper call stacks (figure sweeps) are reached through the *active
+  session*: ``with observe(session): compute_figure(...)`` makes every
+  experiment run inside the block pick the session up implicitly.
+
+``ObsSession.export(dir)`` then writes ``manifest.json``,
+``metrics.jsonl``, ``timeseries.csv`` and ``aggregates.csv`` (plus
+``profile.txt`` when profiling).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.export import (
+    write_aggregates_csv,
+    write_metrics_jsonl,
+    write_timeseries_csv,
+)
+from repro.obs.manifest import PhaseTiming, RunManifest, jsonable
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probes import NetworkProbe
+from repro.obs.profiling import EventLoopProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bgp.network import BGPNetwork
+
+#: Stack of active sessions; the innermost one wins.
+_ACTIVE: List["ObsSession"] = []
+
+
+def active_session() -> Optional["ObsSession"]:
+    """The session installed by the innermost :func:`observe` block."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def observe(session: "ObsSession"):
+    """Make ``session`` the implicit obs sink for nested experiment runs."""
+    _ACTIVE.append(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.pop()
+
+
+class ObsSession:
+    """Everything observed about one run (or one sweep of runs).
+
+    Parameters
+    ----------
+    sample_interval:
+        When set, each attached network gets a :class:`NetworkProbe` with
+        this simulated-seconds period.
+    profile:
+        When True, an :class:`EventLoopProfiler` is attached to every
+        simulator; statistics accumulate across trials.
+    probe_nodes:
+        Optional node-id filter for per-node probe rows.
+    """
+
+    def __init__(
+        self,
+        sample_interval: Optional[float] = None,
+        profile: bool = False,
+        probe_nodes: Optional[Sequence[int]] = None,
+    ) -> None:
+        if sample_interval is not None and sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.registry = MetricsRegistry()
+        self.sample_interval = sample_interval
+        self.probe_nodes = probe_nodes
+        self.profiler: Optional[EventLoopProfiler] = (
+            EventLoopProfiler() if profile else None
+        )
+        self.probes: List[NetworkProbe] = []
+        self.phases: List[PhaseTiming] = []
+        self.trial_snapshots: List[Dict[str, Any]] = []
+        self.manifest: Optional[RunManifest] = None
+        self._trial_index = -1
+        self._last_spec: Any = None
+        self._seeds: List[int] = []
+        self._last_topology: str = ""
+        self._last_counters: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks called by the experiment layer
+    # ------------------------------------------------------------------
+    @property
+    def trial_index(self) -> int:
+        """Index of the trial currently attached (-1 before the first)."""
+        return self._trial_index
+
+    @property
+    def probe(self) -> Optional[NetworkProbe]:
+        """The probe of the most recently attached network, if any."""
+        return self.probes[-1] if self.probes else None
+
+    def attach(self, network: "BGPNetwork") -> None:
+        """Wire this session into a freshly built network (one per trial)."""
+        self._trial_index += 1
+        if self.profiler is not None:
+            self.profiler.attach(network.sim)
+        if self.sample_interval is not None:
+            probe = NetworkProbe(
+                network, self.sample_interval, nodes=self.probe_nodes
+            )
+            probe.start()
+            self.probes.append(probe)
+
+    def on_failure(self, network: "BGPNetwork") -> None:
+        """Re-arm the probe after failure injection (it detaches at
+        quiescence, which the end of warm-up is)."""
+        probe = self.probe
+        if probe is not None and probe.network is network:
+            probe.start()
+
+    def record_phase(
+        self,
+        name: str,
+        wall_seconds: float,
+        sim_seconds: float = 0.0,
+        events: int = 0,
+    ) -> None:
+        label = name if self._trial_index <= 0 else f"{name}[{self._trial_index}]"
+        self.phases.append(
+            PhaseTiming(label, wall_seconds, sim_seconds, events)
+        )
+
+    def note_trial(
+        self,
+        *,
+        spec: Any,
+        seed: int,
+        topology: str,
+        counters: Dict[str, Any],
+        result: Any = None,
+    ) -> None:
+        """Record one finished trial's context and metric snapshot."""
+        self._last_spec = spec
+        self._seeds.append(seed)
+        self._last_topology = topology
+        self._last_counters = dict(counters)
+        snapshot: Dict[str, Any] = {
+            "kind": "trial",
+            "trial": self._trial_index,
+            "seed": seed,
+            "counters": dict(counters),
+        }
+        if result is not None:
+            snapshot["convergence_delay"] = result.convergence_delay
+            snapshot["messages_sent"] = result.messages_sent
+            snapshot["warmup_wall"] = result.warmup_wall
+            snapshot["convergence_wall"] = result.convergence_wall
+        self.trial_snapshots.append(snapshot)
+
+    # ------------------------------------------------------------------
+    # Finalization + export
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        *,
+        kind: str = "repro-run",
+        command: str = "",
+        spec: Any = None,
+        seeds: Optional[List[int]] = None,
+        topology: str = "",
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> RunManifest:
+        """Build (and remember) the manifest for this session."""
+        spec = spec if spec is not None else self._last_spec
+        if seeds is None:
+            # Every seed observed, in trial order, deduplicated (sweeps
+            # reuse the same seed list across points).
+            seeds = list(dict.fromkeys(self._seeds))
+        manifest = RunManifest.create(
+            kind=kind,
+            command=command,
+            spec=spec,
+            seeds=seeds,
+            topology=topology or self._last_topology,
+            phases=list(self.phases),
+            counters=dict(self._last_counters),
+            extra=extra,
+        )
+        manifest.extra.setdefault("trials", self._trial_index + 1)
+        if self.profiler is not None:
+            manifest.extra.setdefault(
+                "profiled_events", self.profiler.total_events
+            )
+        self.manifest = manifest
+        return manifest
+
+    def export(
+        self, directory: Union[str, Path], command: str = ""
+    ) -> List[Path]:
+        """Write every artifact this session holds; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if self.manifest is None:
+            self.finalize(command=command)
+        assert self.manifest is not None
+        written = [self.manifest.save(directory / "manifest.json")]
+        extra_records: List[Dict[str, Any]] = list(self.trial_snapshots)
+        if self.profiler is not None:
+            extra_records.extend(self.profiler.records())
+        written.append(
+            write_metrics_jsonl(
+                self.registry, directory / "metrics.jsonl", extra_records
+            )
+        )
+        written.append(
+            write_timeseries_csv(self.probes, directory / "timeseries.csv")
+        )
+        written.append(
+            write_aggregates_csv(self.probes, directory / "aggregates.csv")
+        )
+        if self.profiler is not None:
+            profile_path = directory / "profile.txt"
+            profile_path.write_text(
+                self.profiler.render() + "\n", encoding="utf-8"
+            )
+            written.append(profile_path)
+        return written
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ObsSession trials={self._trial_index + 1} "
+            f"metrics={len(self.registry)} probes={len(self.probes)} "
+            f"profile={self.profiler is not None}>"
+        )

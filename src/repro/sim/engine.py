@@ -12,11 +12,15 @@ a BGP network that has converged schedules no further events, so
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NullTracer, Tracer
+
+#: Signature of the optional event-loop hook: ``(event, elapsed_seconds)``.
+OnEventHook = Callable[[Event, float], None]
 
 
 class SimulationError(RuntimeError):
@@ -34,13 +38,25 @@ class Simulator:
         sequence produce bit-identical runs.
     tracer:
         Optional :class:`~repro.sim.trace.Tracer`; defaults to a no-op.
+    on_event:
+        Optional observability hook called after each executed event with
+        ``(event, elapsed_wall_seconds)``; when unset the event loop takes
+        a timing-free fast path.  The hook is sampled once per
+        :meth:`run` call, so attach profilers *before* running.  See
+        :class:`repro.obs.profiling.EventLoopProfiler`.
     """
 
-    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        on_event: Optional[OnEventHook] = None,
+    ) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self.rng = RandomStreams(seed)
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.on_event = on_event
         self._events_executed = 0
         self._running = False
 
@@ -119,6 +135,7 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        hook = self.on_event
         try:
             budget = max_events if max_events is not None else -1
             while self._queue:
@@ -134,7 +151,12 @@ class Simulator:
                 self._events_executed += 1
                 if budget > 0:
                     budget -= 1
-                event.fn(*event.args)
+                if hook is None:
+                    event.fn(*event.args)
+                else:
+                    start = perf_counter()
+                    event.fn(*event.args)
+                    hook(event, perf_counter() - start)
             return self._now
         finally:
             self._running = False
@@ -146,7 +168,13 @@ class Simulator:
         event = self._queue.pop()
         self._now = event.time
         self._events_executed += 1
-        event.fn(*event.args)
+        hook = self.on_event
+        if hook is None:
+            event.fn(*event.args)
+        else:
+            start = perf_counter()
+            event.fn(*event.args)
+            hook(event, perf_counter() - start)
         return True
 
     def reset(self) -> None:

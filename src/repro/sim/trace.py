@@ -11,8 +11,23 @@ behaviour without parsing log text.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import CounterMetric, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -28,6 +43,54 @@ class TraceRecord:
         where = f"node={self.node}" if self.node is not None else "-"
         extras = " ".join(str(d) for d in self.detail)
         return f"[{self.time:12.6f}] {self.category:<18} {where} {extras}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready view (detail tuples become lists)."""
+        return {
+            "time": self.time,
+            "category": self.category,
+            "node": self.node,
+            "detail": [
+                list(d) if isinstance(d, tuple) else d for d in self.detail
+            ],
+        }
+
+
+class JsonlSink:
+    """A tracer sink writing each record as one JSON line.
+
+    Usable directly as the ``sink=`` argument of :class:`Tracer` and as a
+    context manager::
+
+        with JsonlSink("trace.jsonl") as sink:
+            tracer = Tracer(sink=sink, keep=False)
+            ...
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def __call__(self, record: TraceRecord) -> None:
+        self._fh.write(json.dumps(record.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def jsonl_sink(path: Union[str, Path]) -> JsonlSink:
+    """Open a :class:`JsonlSink` at ``path`` (convenience constructor)."""
+    return JsonlSink(path)
 
 
 class Tracer:
@@ -100,7 +163,6 @@ class NullTracer(Tracer):
         return
 
 
-@dataclass
 class Counter:
     """A bag of named integer counters.
 
@@ -109,12 +171,35 @@ class Counter:
     >>> c.incr("updates_sent", 2)
     >>> c["updates_sent"]
     3
+
+    When constructed with a :class:`~repro.obs.metrics.MetricsRegistry`,
+    every increment is mirrored into a registry counter of the same name,
+    so the legacy network-wide counters and the structured metrics layer
+    stay in lock-step.  ``reset`` only clears the local view — registry
+    counters are cumulative by design.
     """
 
-    values: Dict[str, int] = field(default_factory=dict)
+    __slots__ = ("values", "_registry", "_mirror")
+
+    def __init__(
+        self,
+        values: Optional[Dict[str, int]] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.values: Dict[str, int] = dict(values) if values else {}
+        self._registry = registry
+        #: Cache of registry children, so the hot path skips the registry
+        #: lookup after the first increment of each name.
+        self._mirror: Dict[str, "CounterMetric"] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         self.values[name] = self.values.get(name, 0) + amount
+        if self._registry is not None:
+            child = self._mirror.get(name)
+            if child is None:
+                child = self._registry.counter(name)
+                self._mirror[name] = child
+            child.inc(amount)
 
     def __getitem__(self, name: str) -> int:
         return self.values.get(name, 0)

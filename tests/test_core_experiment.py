@@ -143,3 +143,55 @@ def test_experiment_result_empty_stats():
     result = ExperimentResult(spec=ExperimentSpec())
     assert result.n == 0
     assert result.mean_delay == 0.0
+
+
+def test_trial_result_records_wall_clock_phases():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    result = run_experiment(small_topo(), spec, seed=1)
+    assert result.warmup_wall > 0.0
+    assert result.convergence_wall > 0.0
+
+
+def test_experiment_result_wall_clock_aggregates():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    result = run_trials(small_topo, spec, seeds=(1, 2))
+    assert result.warmup_wall.n == 2
+    assert result.convergence_wall.n == 2
+    assert result.total_wall == pytest.approx(
+        sum(t.warmup_wall + t.convergence_wall for t in result.trials)
+    )
+
+
+def test_experiment_result_merge():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    a = run_trials(small_topo, spec, seeds=(1, 2))
+    b = run_trials(small_topo, spec, seeds=(3,))
+    merged = a.merge(b)
+    assert merged.n == 3
+    assert [t.seed for t in merged.trials] == [1, 2, 3]
+    # Merged accumulators match a re-streamed computation exactly.
+    delays = [t.convergence_delay for t in merged.trials]
+    assert merged.mean_delay == pytest.approx(sum(delays) / 3)
+    assert merged.delay.minimum == min(delays)
+    assert merged.delay.maximum == max(delays)
+    # Operands are untouched.
+    assert a.n == 2 and b.n == 1
+
+
+def test_experiment_result_merge_rejects_spec_mismatch():
+    spec_a = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    spec_b = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.2)
+    a = ExperimentResult(spec=spec_a)
+    b = ExperimentResult(spec=spec_b)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_run_trials_progress_callback():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    ticks = []
+    run_trials(small_topo, spec, seeds=(1, 2), progress=ticks.append)
+    assert [(p.done, p.total) for p in ticks] == [(1, 2), (2, 2)]
+    assert ticks[0].eta >= 0.0
+    assert ticks[-1].fraction == 1.0
+    assert "[2/2]" in str(ticks[-1])

@@ -1,0 +1,109 @@
+"""End-to-end tests for the CLI observability flags."""
+
+import csv
+import json
+
+from repro.cli import main
+from repro.obs.manifest import RunManifest
+from repro.obs.session import active_session
+
+
+def run_cli(tmp_path, *extra):
+    argv = [
+        "run",
+        "--nodes", "20",
+        "--mrai", "0.5",
+        "--failure", "0.1",
+        "--seed", "1",
+        *extra,
+    ]
+    return main(argv)
+
+
+def test_metrics_out_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "out"
+    code = run_cli(
+        tmp_path,
+        "--metrics-out", str(out),
+        "--sample-interval", "0.5",
+        "--profile",
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    for name in (
+        "manifest.json",
+        "metrics.jsonl",
+        "timeseries.csv",
+        "aggregates.csv",
+        "profile.txt",
+    ):
+        assert (out / name).exists(), name
+        assert f"wrote {out / name}" in captured.err
+    assert "event-loop profile" in captured.out
+    assert "wall clock" in captured.out
+
+    manifest = RunManifest.load(out / "manifest.json")
+    assert manifest.command == "run"
+    assert [p.name for p in manifest.phases] == [
+        "warmup", "failure", "convergence",
+    ]
+    assert manifest.seeds == [1]
+
+    with (out / "timeseries.csv").open() as fh:
+        rows = list(csv.reader(fh))
+    assert len(rows) > 1  # header + samples
+
+    metric_names = {
+        json.loads(line).get("name")
+        for line in (out / "metrics.jsonl").read_text().splitlines()
+    }
+    assert "updates_processed" in metric_names
+    assert "updates_sent" in metric_names
+
+
+def test_profile_without_metrics_out(capsys):
+    code = main(
+        ["run", "--nodes", "20", "--failure", "0.1", "--seed", "1", "--profile"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "event-loop profile" in captured.out
+    assert "wrote" not in captured.err
+
+
+def test_run_without_obs_flags_writes_nothing(tmp_path, capsys):
+    code = run_cli(tmp_path)
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "event-loop profile" not in captured.out
+    assert "wrote" not in captured.err
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_sweep_with_metrics_out(tmp_path, capsys):
+    out = tmp_path / "sweep-out"
+    code = main(
+        [
+            "sweep",
+            "--figure", "fig03",
+            "--scale", "quick",
+            "--metrics-out", str(out),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert (out / "manifest.json").exists()
+    manifest = RunManifest.load(out / "manifest.json")
+    assert manifest.kind == "repro-sweep"
+    assert manifest.extra["figure"] == "fig03"
+    assert manifest.extra["trials"] > 1
+    # Trial snapshots from deep inside the figure harness made it out
+    # through the active-session mechanism.
+    trials = [
+        json.loads(line)
+        for line in (out / "metrics.jsonl").read_text().splitlines()
+        if json.loads(line).get("kind") == "trial"
+    ]
+    assert len(trials) == manifest.extra["trials"]
+    # The observe() block restored the previous (empty) session state.
+    assert active_session() is None

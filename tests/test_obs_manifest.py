@@ -1,0 +1,188 @@
+"""Tests for run manifests and the export writers."""
+
+import csv
+import json
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.obs.export import (
+    AGGREGATE_FIELDS,
+    TIMESERIES_FIELDS,
+    metrics_records,
+    write_jsonl,
+    write_metrics_jsonl,
+)
+from repro.obs.manifest import (
+    PhaseTiming,
+    RunManifest,
+    host_fingerprint,
+    jsonable,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.session import ObsSession
+from repro.topology.skewed import skewed_topology
+
+
+# ----------------------------------------------------------------------
+# jsonable
+# ----------------------------------------------------------------------
+def test_jsonable_passthrough_and_containers():
+    assert jsonable(None) is None
+    assert jsonable(3) == 3
+    assert jsonable("x") == "x"
+    assert jsonable((1, 2)) == [1, 2]
+    assert jsonable({"a": (1,)}) == {"a": [1]}
+    assert sorted(jsonable({1, 2})) == [1, 2]
+
+
+def test_jsonable_dataclass_and_fallback():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    data = jsonable(spec)
+    assert data["failure_fraction"] == 0.1
+    assert data["queue_discipline"] == "fifo"
+    # Non-JSON leaves degrade to repr, never raise.
+    assert isinstance(jsonable(object()), str)
+    json.dumps(data)  # the whole tree must serialize
+
+
+def test_host_fingerprint_keys():
+    host = host_fingerprint()
+    assert set(host) == {
+        "python", "implementation", "platform", "machine", "hostname"
+    }
+
+
+# ----------------------------------------------------------------------
+# PhaseTiming / RunManifest round-trip
+# ----------------------------------------------------------------------
+def test_phase_timing_round_trip():
+    timing = PhaseTiming("warmup", 1.5, sim_seconds=30.0, events=1000)
+    assert PhaseTiming.from_dict(timing.to_dict()) == timing
+
+
+def test_manifest_round_trip(tmp_path):
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    manifest = RunManifest.create(
+        kind="repro-run",
+        command="run --nodes 30",
+        spec=spec,
+        seeds=[1, 2],
+        topology="skewed(30)",
+        counters={"updates_sent": 100},
+        extra={"note": "test"},
+    )
+    manifest.add_phase("warmup", 1.0, sim_seconds=20.0, events=500)
+    manifest.add_phase("convergence", 2.0, sim_seconds=10.0, events=700)
+
+    path = manifest.save(tmp_path / "manifest.json")
+    loaded = RunManifest.load(path)
+    assert loaded == manifest
+    assert loaded.phase("warmup").events == 500
+    assert loaded.phase("missing") is None
+    assert loaded.total_wall_seconds == 3.0
+    assert loaded.package_version
+    assert loaded.created_utc
+    assert loaded.spec["failure_fraction"] == 0.1
+
+
+def test_manifest_from_partial_dict():
+    manifest = RunManifest.from_dict({"kind": "x"})
+    assert manifest.kind == "x"
+    assert manifest.phases == []
+    assert manifest.total_wall_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def test_write_jsonl(tmp_path):
+    path = write_jsonl([{"a": 1}, {"b": 2}], tmp_path / "x.jsonl")
+    lines = path.read_text().splitlines()
+    assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": 2}]
+
+
+def test_metrics_records_appends_extras():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    records = metrics_records(reg, [{"kind": "trial", "trial": 0}])
+    assert records[0]["name"] == "c"
+    assert records[-1]["kind"] == "trial"
+
+
+def test_write_metrics_jsonl(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("msgs").inc(7)
+    reg.histogram("svc", buckets=(1.0,)).observe(0.5)
+    path = write_metrics_jsonl(reg, tmp_path / "metrics.jsonl")
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    kinds = {row["kind"] for row in rows}
+    assert kinds == {"counter", "histogram"}
+
+
+# ----------------------------------------------------------------------
+# Session end-to-end export
+# ----------------------------------------------------------------------
+def test_session_export_writes_all_artifacts(tmp_path):
+    obs = ObsSession(sample_interval=0.5, profile=True)
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    run_experiment(skewed_topology(30, seed=3), spec, seed=1, obs=obs)
+
+    written = obs.export(tmp_path, command="test")
+    names = {p.name for p in written}
+    assert names == {
+        "manifest.json",
+        "metrics.jsonl",
+        "timeseries.csv",
+        "aggregates.csv",
+        "profile.txt",
+    }
+
+    manifest = RunManifest.load(tmp_path / "manifest.json")
+    phase_names = [p.name for p in manifest.phases]
+    assert phase_names == ["warmup", "failure", "convergence"]
+    assert manifest.seeds == [1]
+    assert manifest.extra["trials"] == 1
+    assert manifest.extra["profiled_events"] > 0
+    assert manifest.counters["updates_sent"] > 0
+
+    rows = [
+        json.loads(line)
+        for line in (tmp_path / "metrics.jsonl").read_text().splitlines()
+    ]
+    kinds = {row["kind"] for row in rows}
+    assert {"counter", "gauge", "histogram", "trial", "profile"} <= kinds
+
+    with (tmp_path / "timeseries.csv").open() as fh:
+        ts = list(csv.reader(fh))
+    assert ts[0] == TIMESERIES_FIELDS
+    assert len(ts) > 1
+
+    with (tmp_path / "aggregates.csv").open() as fh:
+        agg = list(csv.reader(fh))
+    assert agg[0] == AGGREGATE_FIELDS
+    assert len(agg) > 1
+
+    assert "event-loop profile" in (tmp_path / "profile.txt").read_text()
+
+
+def test_session_export_without_probe_or_profiler(tmp_path):
+    obs = ObsSession()  # metrics only
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    run_experiment(skewed_topology(30, seed=3), spec, seed=1, obs=obs)
+    written = obs.export(tmp_path)
+    names = {p.name for p in written}
+    assert "profile.txt" not in names
+    # Empty CSVs still carry their header row.
+    assert (tmp_path / "timeseries.csv").read_text().splitlines()[0]
+
+
+def test_session_phase_labels_multi_trial():
+    obs = ObsSession()
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    topo = skewed_topology(30, seed=3)
+    run_experiment(topo, spec, seed=1, obs=obs)
+    run_experiment(topo, spec, seed=2, obs=obs)
+    labels = [p.name for p in obs.phases]
+    assert labels[:3] == ["warmup", "failure", "convergence"]
+    assert labels[3:] == ["warmup[1]", "failure[1]", "convergence[1]"]
+    assert obs.trial_index == 1

@@ -1,0 +1,202 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+)
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+def test_counter_get_or_create_returns_same_child():
+    reg = MetricsRegistry()
+    a = reg.counter("updates_processed", node=7)
+    b = reg.counter("updates_processed", node=7)
+    assert a is b
+    a.inc()
+    assert b.value == 1
+
+
+def test_labels_distinguish_children():
+    reg = MetricsRegistry()
+    reg.counter("updates_processed", node=1).inc(3)
+    reg.counter("updates_processed", node=2).inc(5)
+    assert reg.get("updates_processed", node=1).value == 3
+    assert reg.get("updates_processed", node=2).value == 5
+    assert len(reg) == 2
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.gauge("depth", node=1, link=2)
+    b = reg.gauge("depth", link=2, node=1)
+    assert a is b
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+    with pytest.raises(ValueError):
+        reg.histogram("x")
+
+
+def test_histogram_bucket_conflict_raises():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=(1, 2, 3))
+    with pytest.raises(ValueError):
+        reg.histogram("h", buckets=(1, 2, 4))
+    # Same buckets is fine and returns the same child.
+    assert reg.histogram("h", buckets=(1, 2, 3)) is reg.get("h")
+
+
+def test_get_never_creates():
+    reg = MetricsRegistry()
+    assert reg.get("nope") is None
+    assert reg.get("nope", node=1) is None
+    assert len(reg) == 0
+
+
+def test_records_deterministic_order():
+    reg = MetricsRegistry()
+    reg.counter("b", node=2).inc()
+    reg.counter("b", node=1).inc()
+    reg.counter("a").inc()
+    names = [r["name"] for r in reg.records()]
+    assert names == ["a", "b", "b"]
+    # Repeated calls give the identical ordering.
+    assert [r["name"] for r in reg.records()] == names
+
+
+def test_snapshot_flat_view():
+    reg = MetricsRegistry()
+    reg.counter("msgs").inc(4)
+    reg.gauge("depth", node=3).set(7)
+    h = reg.histogram("svc", buckets=(1.0, 2.0))
+    h.observe(1.0)
+    h.observe(2.0)
+    snap = reg.snapshot()
+    assert snap["msgs"] == 4
+    assert snap["depth{node=3}"] == 7
+    assert snap["svc"] == pytest.approx(1.5)  # histograms report their mean
+
+
+def test_clear():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.clear()
+    assert len(reg) == 0
+    assert reg.records() == []
+
+
+def test_format_metric_name():
+    assert format_metric_name("plain", ()) == "plain"
+    assert format_metric_name("m", (("a", 1), ("b", "x"))) == "m{a=1,b=x}"
+
+
+# ----------------------------------------------------------------------
+# Counter
+# ----------------------------------------------------------------------
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("c")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    c.inc(0)
+    c.inc(5)
+    assert c.value == 5
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("g")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+def test_histogram_bucketing_exact():
+    h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 3.0, 9.0):
+        h.observe(v)
+    # bisect_left: a value equal to a bound lands in that bound's bucket.
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(15.0)
+    assert h.mean == pytest.approx(3.0)
+    assert h.overflow == 1
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=(1.0, 1.0, 2.0))
+
+
+def test_histogram_percentile_upper_bound_semantics():
+    h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 0.6, 0.7, 1.5, 3.5):
+        h.observe(v)
+    assert h.percentile(0.0) == 1.0
+    assert h.percentile(0.5) == 1.0  # rank 3 of 5 still in first bucket
+    assert h.percentile(0.8) == 2.0
+    assert h.percentile(1.0) == 4.0
+
+
+def test_histogram_percentile_edge_cases():
+    h = Histogram("h", (), buckets=(1.0,))
+    assert h.percentile(0.5) == 0.0  # empty histogram
+    h.observe(99.0)  # overflow only
+    assert h.percentile(0.5) == float("inf")
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+def test_histogram_merge():
+    a = Histogram("h", (), buckets=(1.0, 2.0))
+    b = Histogram("h", (), buckets=(1.0, 2.0))
+    a.observe(0.5)
+    a.observe(1.5)
+    b.observe(1.5)
+    b.observe(5.0)
+    a.merge(b)
+    assert a.counts == [1, 2, 1]
+    assert a.count == 4
+    assert a.sum == pytest.approx(8.5)
+    # Merge is one-way: b is untouched.
+    assert b.count == 2
+
+
+def test_histogram_merge_requires_same_buckets():
+    a = Histogram("h", (), buckets=(1.0, 2.0))
+    b = Histogram("h", (), buckets=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_default_buckets_are_ascending():
+    assert list(DEFAULT_TIME_BUCKETS) == sorted(set(DEFAULT_TIME_BUCKETS))
+    assert list(DEFAULT_COUNT_BUCKETS) == sorted(set(DEFAULT_COUNT_BUCKETS))
+
+
+def test_histogram_default_buckets_applied():
+    reg = MetricsRegistry()
+    h = reg.histogram("svc")
+    assert h.buckets == DEFAULT_TIME_BUCKETS

@@ -1,6 +1,16 @@
 """Unit tests for tracing and counters."""
 
-from repro.sim.trace import Counter, NullTracer, Tracer, TraceRecord
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import (
+    Counter,
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    TraceRecord,
+    jsonl_sink,
+)
 
 
 def test_tracer_records_events():
@@ -85,3 +95,54 @@ def test_counter_reset():
     counter.incr("a")
     counter.reset()
     assert counter["a"] == 0
+
+
+def test_record_to_dict_json_ready():
+    record = TraceRecord(1.5, "update_sent", 3, ("a", (1, 2)))
+    data = record.to_dict()
+    assert data == {
+        "time": 1.5,
+        "category": "update_sent",
+        "node": 3,
+        "detail": ["a", [1, 2]],
+    }
+    json.dumps(data)  # nested tuples became lists; must serialize
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with jsonl_sink(path) as sink:
+        tracer = Tracer(sink=sink, keep=False)
+        tracer.emit(1.0, "update_sent", 3, "dest", 7)
+        tracer.emit(2.0, "route_change", 4)
+        assert sink.records_written == 2
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["category"] for r in rows] == ["update_sent", "route_change"]
+    assert rows[0]["detail"] == ["dest", 7]
+
+
+def test_jsonl_sink_close_idempotent(tmp_path):
+    sink = JsonlSink(tmp_path / "x.jsonl")
+    sink.close()
+    sink.close()
+
+
+def test_counter_mirrors_into_registry():
+    registry = MetricsRegistry()
+    counter = Counter(registry=registry)
+    counter.incr("updates_sent")
+    counter.incr("updates_sent", 2)
+    counter.incr("route_changes")
+    assert registry.get("updates_sent").value == 3
+    assert registry.get("route_changes").value == 1
+    # reset clears the local view only; registry counters are cumulative.
+    counter.reset()
+    counter.incr("updates_sent")
+    assert counter["updates_sent"] == 1
+    assert registry.get("updates_sent").value == 4
+
+
+def test_counter_without_registry_has_no_mirror():
+    counter = Counter()
+    counter.incr("a")
+    assert counter._mirror == {}

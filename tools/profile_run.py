@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Profile a canned convergence scenario and print the top-10 hotspots.
+
+The standard harness for "make the simulator faster" work: runs one
+warm-up + failure + convergence cycle with the event-loop profiler
+attached and prints per-handler-category wall-clock accounting plus the
+phase timings.  Compare before/after a change with fixed arguments:
+
+    PYTHONPATH=src python tools/profile_run.py
+    PYTHONPATH=src python tools/profile_run.py --nodes 200 --failure 0.2 \\
+        --scheme dynamic --queue dest_batch --out out/profile
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.obs import ObsSession
+from repro.topology.skewed import skewed_topology
+
+
+def make_spec(args: argparse.Namespace) -> ExperimentSpec:
+    mrai = (
+        DynamicMRAI() if args.scheme == "dynamic" else ConstantMRAI(args.mrai)
+    )
+    return ExperimentSpec(
+        mrai=mrai,
+        queue_discipline=args.queue,
+        failure_fraction=args.failure,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--failure", type=float, default=0.1)
+    parser.add_argument(
+        "--scheme", choices=("constant", "dynamic"), default="constant"
+    )
+    parser.add_argument("--mrai", type=float, default=0.5)
+    parser.add_argument(
+        "--queue",
+        choices=("fifo", "dest_batch", "dest_batch_wf", "tcp_batch"),
+        default="fifo",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out", metavar="DIR", help="also export the full obs artifacts"
+    )
+    args = parser.parse_args()
+
+    topology = skewed_topology(args.nodes, seed=args.seed)
+    spec = make_spec(args)
+    obs = ObsSession(profile=True)
+
+    print(
+        f"profiling: {args.nodes} nodes, {args.failure:.0%} failure, "
+        f"{args.scheme} MRAI, {args.queue} queue, seed {args.seed}"
+    )
+    result = run_experiment(topology, spec, seed=args.seed, obs=obs)
+
+    print(
+        f"\nsimulated : {result.warmup_time:.2f} s warm-up + "
+        f"{result.convergence_delay:.2f} s convergence, "
+        f"{result.events_executed} events"
+    )
+    print(
+        f"wall clock: {result.warmup_wall:.2f} s warm-up + "
+        f"{result.convergence_wall:.2f} s convergence "
+        f"({result.events_executed / max(result.warmup_wall + result.convergence_wall, 1e-9):,.0f} events/s overall)"
+    )
+    print()
+    print(obs.profiler.render(top_k=10))
+
+    if args.out:
+        print()
+        for path in obs.export(args.out, command="tools/profile_run"):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
