@@ -6,6 +6,13 @@ plus small helpers for shape assertions (V-shape detection, crossover
 location) used by the benchmark suite and EXPERIMENTS.md.
 """
 
+from repro.analysis.convergence import (
+    ConvergenceTimeline,
+    PathHistory,
+    analyze_trace,
+    analyze_trace_file,
+    render_report,
+)
 from repro.analysis.report import (
     format_figure,
     format_series_table,
@@ -26,14 +33,19 @@ from repro.analysis.shapes import (
 from repro.analysis.timeseries import Probe, Sample, sparkline
 
 __all__ = [
+    "ConvergenceTimeline",
+    "PathHistory",
     "Probe",
     "Sample",
+    "analyze_trace",
+    "analyze_trace_file",
     "crossover_point",
     "format_figure",
     "format_series_table",
     "is_v_shaped",
     "monotone_increasing",
     "optimal_x",
+    "render_report",
     "save_series",
     "series_to_csv",
     "series_to_json",

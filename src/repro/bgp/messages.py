@@ -28,9 +28,17 @@ class Update:
         Simulation time at which the message was put on the wire; used for
         latency accounting and stale-update bookkeeping in the batching
         scheme.
+    uid:
+        Provenance identifier, unique and monotonically increasing per
+        network, assigned only while causal tracing is enabled; ``-1``
+        (untraced) otherwise.
+    cause_uid:
+        ``uid`` of the received update — or failure-injection event —
+        whose processing produced this message; ``-1`` when untraced or
+        when the message has no traced cause (e.g. warm-up origination).
     """
 
-    __slots__ = ("dest", "path", "sender", "sent_at")
+    __slots__ = ("dest", "path", "sender", "sent_at", "uid", "cause_uid")
 
     def __init__(
         self,
@@ -38,11 +46,15 @@ class Update:
         path: Optional[Tuple[int, ...]],
         sender: int,
         sent_at: float = 0.0,
+        uid: int = -1,
+        cause_uid: int = -1,
     ) -> None:
         self.dest = dest
         self.path = path
         self.sender = sender
         self.sent_at = sent_at
+        self.uid = uid
+        self.cause_uid = cause_uid
 
     @property
     def is_withdrawal(self) -> bool:

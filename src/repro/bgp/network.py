@@ -54,6 +54,9 @@ class BGPNetwork:
         self.last_activity = 0.0
         self.speakers: Dict[int, BGPSpeaker] = {}
         self._failed: Set[int] = set()
+        #: Next provenance uid for causal tracing; advances only while a
+        #: real tracer is attached (see :meth:`next_uid`).
+        self._next_uid = 0
         #: UPDATE messages currently on the wire (explicit-mode convergence
         #: detection needs this, since the event queue never drains there).
         self._in_flight_updates = 0
@@ -150,6 +153,17 @@ class BGPNetwork:
         if self.sim.now > self.last_activity:
             self.last_activity = self.sim.now
 
+    def next_uid(self) -> int:
+        """Allocate the next provenance uid (causal tracing only).
+
+        Uids are network-global and monotonically increasing, shared
+        between UPDATE messages and failure-injection events so a cause
+        chain can mix both.
+        """
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        return uid
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -239,6 +253,22 @@ class BGPNetwork:
             raise ValueError("detection delay/jitter must be non-negative")
         t0 = self.sim.now
         failing = sorted(set(node_ids))
+        failure_uid = -1
+        if self.sim.tracer.enabled:
+            # The failure itself is a provenance root: every teardown
+            # update the survivors emit chains back to this uid.
+            failure_uid = self.next_uid()
+            self.sim.tracer.emit(
+                t0,
+                "causality",
+                None,
+                "failure",
+                failure_uid,
+                -1,
+                None,
+                None,
+                tuple(failing),
+            )
         for node_id in failing:
             speaker = self.speakers[node_id]
             if speaker.alive:
@@ -254,12 +284,14 @@ class BGPNetwork:
                 if not survivor.alive:
                     continue
                 if detection_delay == 0.0 and detection_jitter == 0.0:
-                    survivor.peer_down(node_id)
+                    survivor.peer_down(node_id, failure_uid)
                 else:
                     delay = detection_delay + detect_rng.uniform(
                         0.0, detection_jitter
                     )
-                    self.sim.schedule(delay, survivor.peer_down, node_id)
+                    self.sim.schedule(
+                        delay, survivor.peer_down, node_id, failure_uid
+                    )
         return t0
 
     def recover_nodes(self, node_ids: Iterable[int]) -> float:
@@ -301,10 +333,24 @@ class BGPNetwork:
     def fail_link(self, a: int, b: int) -> float:
         """Fail a single link: both endpoints drop the session."""
         t0 = self.sim.now
+        failure_uid = -1
+        if self.sim.tracer.enabled:
+            failure_uid = self.next_uid()
+            self.sim.tracer.emit(
+                t0,
+                "causality",
+                None,
+                "link_failure",
+                failure_uid,
+                -1,
+                None,
+                None,
+                (a, b),
+            )
         if self.speakers[a].alive:
-            self.speakers[a].peer_down(b)
+            self.speakers[a].peer_down(b, failure_uid)
         if self.speakers[b].alive:
-            self.speakers[b].peer_down(a)
+            self.speakers[b].peer_down(a, failure_uid)
         return t0
 
     # ------------------------------------------------------------------

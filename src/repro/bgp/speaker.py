@@ -49,6 +49,7 @@ class PeerState:
         "timer",
         "dest_timers",
         "pending",
+        "pending_cause",
         "adj_rib_out",
     )
 
@@ -64,6 +65,10 @@ class PeerState:
         self.dest_timers: Dict[int, Timer] = {}
         #: Destinations with a change waiting for the MRAI to expire.
         self.pending: Set[int] = set()
+        #: Provenance of pending changes (dest -> cause uid).  Allocated
+        #: lazily and only while causal tracing is enabled, so the
+        #: untraced path never touches it.
+        self.pending_cause: Optional[Dict[int, int]] = None
         #: What was last sent: dest -> path tuple, or None for "withdrawn".
         self.adj_rib_out: Dict[int, Optional[Tuple[int, ...]]] = {}
 
@@ -123,6 +128,11 @@ class BGPSpeaker:
             self._m_queue_depth = None
             self._m_service = None
             self._m_batch = None
+        #: Provenance context: uid of the event whose processing the
+        #: speaker is currently inside, stamped onto every update sent
+        #: from that context.  Only maintained while causal tracing is
+        #: enabled; stays -1 (and costs nothing) otherwise.
+        self._cause_uid = -1
         #: Flap-damping penalty per (peer, dest); only populated when the
         #: config enables damping.
         self._damping: Dict[Tuple[int, int], DampingState] = {}
@@ -208,12 +218,27 @@ class BGPSpeaker:
         self._busy = False
         self.controller.on_busy_interval(self._busy_since, now)
         affected: Set[int] = set()
-        for msg in batch:
-            self.network.counters.incr("updates_processed")
-            if self._apply_update(msg):
-                affected.add(msg.dest)
-        for dest in affected:
-            self._reselect(dest)
+        if self.sim.tracer.enabled:
+            # Traced twin of the loop below: remember, per destination,
+            # which received update last changed the RIB-In, so the
+            # advertisements the reselection emits carry their cause.
+            cause_by_dest: Dict[int, int] = {}
+            for msg in batch:
+                self.network.counters.incr("updates_processed")
+                if self._apply_update(msg):
+                    affected.add(msg.dest)
+                    cause_by_dest[msg.dest] = msg.uid
+            for dest in affected:
+                self._cause_uid = cause_by_dest[dest]
+                self._reselect(dest)
+            self._cause_uid = -1
+        else:
+            for msg in batch:
+                self.network.counters.incr("updates_processed")
+                if self._apply_update(msg):
+                    affected.add(msg.dest)
+            for dest in affected:
+                self._reselect(dest)
         self.controller.on_queue_sample(len(self.queue), now)
         if self._m_processed is not None:
             self._m_processed.inc(len(batch))
@@ -402,6 +427,10 @@ class BGPSpeaker:
             timer = self._timer_for(ps, dest)
             if timer is not None and timer.running:
                 ps.pending.add(dest)
+                if self.sim.tracer.enabled:
+                    if ps.pending_cause is None:
+                        ps.pending_cause = {}
+                    ps.pending_cause[dest] = self._cause_uid
             else:
                 self._send(ps, dest, export)
                 ps.pending.discard(dest)
@@ -447,6 +476,7 @@ class BGPSpeaker:
     def _mrai_expired_peer(self, ps: PeerState) -> None:
         if not self.alive or not ps.session_up or not ps.pending:
             return
+        tracing = self.sim.tracer.enabled
         restart = False
         for dest in sorted(ps.pending):
             export = self.export_route(ps, dest)
@@ -455,10 +485,18 @@ class BGPSpeaker:
                 continue
             if export is None and last is _NEVER_SENT:
                 continue
+            if tracing and ps.pending_cause is not None:
+                # A deferred send is caused by whatever last marked the
+                # destination pending while the timer ran.
+                self._cause_uid = ps.pending_cause.get(dest, -1)
             self._send(ps, dest, export)
             if export is not None or self.config.withdrawal_rate_limiting:
                 restart = True
         ps.pending.clear()
+        if ps.pending_cause is not None:
+            ps.pending_cause.clear()
+        if tracing:
+            self._cause_uid = -1
         if restart:
             self._start_timer(ps, -1)
 
@@ -472,7 +510,12 @@ class BGPSpeaker:
             return
         if export is None and last is _NEVER_SENT:
             return
-        self._send(ps, dest, export)
+        if self.sim.tracer.enabled and ps.pending_cause is not None:
+            self._cause_uid = ps.pending_cause.pop(dest, -1)
+            self._send(ps, dest, export)
+            self._cause_uid = -1
+        else:
+            self._send(ps, dest, export)
         if export is not None or self.config.withdrawal_rate_limiting:
             self._start_timer(ps, dest)
 
@@ -481,6 +524,21 @@ class BGPSpeaker:
     ) -> None:
         ps.adj_rib_out[dest] = export
         msg = Update(dest, export, self.node_id, self.sim.now)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            msg.uid = self.network.next_uid()
+            msg.cause_uid = self._cause_uid
+            tracer.emit(
+                self.sim.now,
+                "causality",
+                self.node_id,
+                "send",
+                msg.uid,
+                msg.cause_uid,
+                dest,
+                ps.peer_id,
+                export,
+            )
         self.network.transmit(self.node_id, ps.peer_id, msg, ps.delay)
 
     # ------------------------------------------------------------------
@@ -511,6 +569,7 @@ class BGPSpeaker:
         ps.session_up = True
         ps.adj_rib_out.clear()
         ps.pending.clear()
+        ps.pending_cause = None
         self.network.counters.incr("sessions_established")
         self.network.note_activity()
         # Full table transfer: advertise everything eligible, then arm the
@@ -527,8 +586,13 @@ class BGPSpeaker:
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
-    def peer_down(self, peer_id: int) -> None:
-        """Tear down the session to ``peer_id`` and re-select routes."""
+    def peer_down(self, peer_id: int, cause_uid: int = -1) -> None:
+        """Tear down the session to ``peer_id`` and re-select routes.
+
+        ``cause_uid`` is the provenance uid of the failure-injection
+        event that killed the session (causal tracing only): every
+        update the teardown emits is attributed to it.
+        """
         ps = self.peers.get(peer_id)
         if ps is None or not ps.session_up:
             return
@@ -544,9 +608,11 @@ class BGPSpeaker:
             timer.stop()
         ps.dest_timers.clear()
         ps.pending.clear()
+        ps.pending_cause = None
         ps.adj_rib_out.clear()
         self.network.counters.incr("sessions_down")
         if self.sim.tracer.enabled:
+            self._cause_uid = cause_uid
             self.sim.tracer.emit(
                 self.sim.now, "peer_down", self.node_id, peer_id
             )
@@ -556,6 +622,7 @@ class BGPSpeaker:
                 # withdrawal flap like any other.
                 self._record_flap(ps, dest, withdrawal=True)
             self._reselect(dest)
+        self._cause_uid = -1
         self.network.note_activity()
 
     def fail(self) -> None:
@@ -574,6 +641,7 @@ class BGPSpeaker:
                 timer.stop()
             ps.dest_timers.clear()
             ps.pending.clear()
+            ps.pending_cause = None
 
     def revive(self) -> None:
         """Bring a failed router back with a cold control plane.
@@ -595,6 +663,7 @@ class BGPSpeaker:
         for ps in self.peers.values():
             ps.session_up = False
             ps.pending.clear()
+            ps.pending_cause = None
             ps.adj_rib_out.clear()
         for prefix in sorted(self.own_prefixes):
             self._reselect(prefix)

@@ -1,19 +1,23 @@
 """Command-line interface.
 
-Two subcommands::
+Main subcommands::
 
     repro-bgp run   --nodes 120 --distribution 70-30 --mrai 0.5 \\
                     --failure 0.05 --scheme fifo --seed 1
     repro-bgp sweep --figure fig3 --scale quick
+    repro-bgp trace analyze trace.jsonl
 
 ``run`` executes one convergence experiment and prints the measurements;
 ``sweep`` regenerates one of the paper's figures (same harness the
-benchmark suite uses) and prints its series table.
+benchmark suite uses) and prints its series table; ``trace analyze``
+post-processes a ``--trace-out`` JSONL trace into the causal-chain and
+path-exploration report.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -83,19 +87,36 @@ def build_mrai_policy(
     raise ValueError(f"unknown MRAI scheme {args.mrai_scheme!r}")
 
 
-def _make_obs_session(args: argparse.Namespace):
-    """An ObsSession when any observability flag is set, else None."""
+def _make_obs_session(
+    args: argparse.Namespace, stack: contextlib.ExitStack
+):
+    """An ObsSession when any observability flag is set, else None.
+
+    The trace sink (when ``--trace-out`` is given) is registered on
+    ``stack`` so it is closed — and its final line flushed — before the
+    command returns, no matter how the run ends; ``trace analyze`` must
+    never see a truncated trailing record.
+    """
+    trace_out = getattr(args, "trace_out", None)
     wants_obs = (
         getattr(args, "metrics_out", None)
         or getattr(args, "profile", False)
         or getattr(args, "sample_interval", None) is not None
+        or trace_out
     )
     if not wants_obs:
         return None
     from repro.obs.session import ObsSession
 
+    trace_sink = None
+    if trace_out:
+        from repro.sim.trace import jsonl_sink
+
+        trace_sink = stack.enter_context(jsonl_sink(trace_out))
     return ObsSession(
-        sample_interval=args.sample_interval, profile=args.profile
+        sample_interval=args.sample_interval,
+        profile=args.profile,
+        trace_sink=trace_sink,
     )
 
 
@@ -106,6 +127,8 @@ def _finish_obs(obs, args: argparse.Namespace, command: str) -> None:
     if args.metrics_out:
         for path in obs.export(args.metrics_out, command=command):
             print(f"wrote {path}", file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        print(f"wrote {args.trace_out}", file=sys.stderr)
     if args.profile and obs.profiler is not None:
         print()
         print(obs.profiler.render(top_k=10))
@@ -120,21 +143,34 @@ def cmd_run(args: argparse.Namespace) -> int:
         validate=args.validate,
     )
     print(topology.summary())
-    obs = _make_obs_session(args)
-    result = run_experiment(topology, spec, seed=args.seed, obs=obs)
-    print(f"failure size       : {result.failure_size} routers")
-    print(f"warm-up time       : {result.warmup_time:.2f} s (sim)")
-    print(f"convergence delay  : {result.convergence_delay:.2f} s (sim)")
-    print(f"update messages    : {result.messages_sent}")
-    print(f"  withdrawals      : {result.withdrawals_sent}")
-    print(f"  stale dropped    : {result.stale_dropped}")
-    print(f"route changes      : {result.route_changes}")
-    print(f"events executed    : {result.events_executed}")
-    print(
-        f"wall clock         : {result.warmup_wall:.2f} s warm-up, "
-        f"{result.convergence_wall:.2f} s convergence"
-    )
-    _finish_obs(obs, args, command="run")
+    with contextlib.ExitStack() as stack:
+        obs = _make_obs_session(args, stack)
+        result = run_experiment(topology, spec, seed=args.seed, obs=obs)
+        print(f"failure size       : {result.failure_size} routers")
+        print(f"warm-up time       : {result.warmup_time:.2f} s (sim)")
+        print(f"convergence delay  : {result.convergence_delay:.2f} s (sim)")
+        print(f"update messages    : {result.messages_sent}")
+        print(f"  withdrawals      : {result.withdrawals_sent}")
+        print(f"  stale dropped    : {result.stale_dropped}")
+        print(f"route changes      : {result.route_changes}")
+        print(f"events executed    : {result.events_executed}")
+        print(
+            f"wall clock         : {result.warmup_wall:.2f} s warm-up, "
+            f"{result.convergence_wall:.2f} s convergence"
+        )
+        if obs is not None and obs.last_exploration is not None:
+            exp = obs.last_exploration
+            print(
+                f"path exploration   : {exp['paths_explored_total']} distinct "
+                f"paths over {exp['pairs_changed']} (node, dest) pairs "
+                f"(max {exp['paths_explored_max']})"
+            )
+            print(
+                f"settle times       : p50 {exp['settle']['p50']:.2f} s, "
+                f"p95 {exp['settle']['p95']:.2f} s, "
+                f"max {exp['settle']['max']:.2f} s"
+            )
+        _finish_obs(obs, args, command="run")
     if result.truncated:
         print("WARNING: run truncated at max_convergence_time", file=sys.stderr)
         return 1
@@ -152,26 +188,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    obs = _make_obs_session(args)
-    if obs is not None:
-        from repro.obs.session import observe
+    with contextlib.ExitStack() as stack:
+        obs = _make_obs_session(args, stack)
+        if obs is not None:
+            from repro.obs.session import observe
 
-        with observe(obs):
+            with observe(obs):
+                output = compute_figure(args.figure, scale=args.scale)
+            obs.finalize(
+                kind="repro-sweep",
+                command=f"sweep --figure {args.figure} --scale {args.scale}",
+                extra={"figure": args.figure, "scale": args.scale},
+            )
+        else:
             output = compute_figure(args.figure, scale=args.scale)
-        obs.finalize(
-            kind="repro-sweep",
-            command=f"sweep --figure {args.figure} --scale {args.scale}",
-            extra={"figure": args.figure, "scale": args.scale},
-        )
-    else:
-        output = compute_figure(args.figure, scale=args.scale)
-    print(output.render())
-    if args.export:
-        from repro.analysis.export import figure_to_files
+        print(output.render())
+        if args.export:
+            from repro.analysis.export import figure_to_files
 
-        for path in figure_to_files(output, args.export):
-            print(f"wrote {path}", file=sys.stderr)
-    _finish_obs(obs, args, command=f"sweep --figure {args.figure}")
+            for path in figure_to_files(output, args.export):
+                print(f"wrote {path}", file=sys.stderr)
+        _finish_obs(obs, args, command=f"sweep --figure {args.figure}")
     return 0
 
 
@@ -180,6 +217,31 @@ def cmd_list(args: argparse.Namespace) -> int:
 
     for figure_id in sorted(FIGURES):
         print(f"{figure_id:22s} {FIGURES[figure_id].CAPTION}")
+    return 0
+
+
+def cmd_trace_analyze(args: argparse.Namespace) -> int:
+    """Offline causal + convergence analysis of a JSONL trace."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.convergence import analyze_trace_file, render_report
+
+    try:
+        report = analyze_trace_file(args.path, t0=args.t0, top=args.top)
+    except (OSError, ValueError) as exc:
+        print(f"cannot analyze {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -234,6 +296,14 @@ def make_parser() -> argparse.ArgumentParser:
             "--profile",
             action="store_true",
             help="profile the event loop and print a top-10 hotspot table",
+        )
+        parser_.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help=(
+                "write a causal trace (causality + route_change records) "
+                "as JSONL to PATH, for `repro-bgp trace analyze`"
+            ),
         )
 
     def add_topology_args(parser_):
@@ -292,6 +362,40 @@ def make_parser() -> argparse.ArgumentParser:
         "list", help="list reproducible figures and ablations"
     )
     list_p.set_defaults(func=cmd_list)
+
+    trace_p = sub.add_parser(
+        "trace", help="offline analysis of recorded traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    analyze_p = trace_sub.add_parser(
+        "analyze",
+        help="causal-chain + path-exploration report from a JSONL trace",
+    )
+    analyze_p.add_argument("path", help="trace file written by --trace-out")
+    analyze_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    analyze_p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many amplifiers/chains/destinations to list (default 5)",
+    )
+    analyze_p.add_argument(
+        "--t0",
+        type=float,
+        default=None,
+        help=(
+            "failure time to measure settling from (default: the first "
+            "failure-injection record in the trace)"
+        ),
+    )
+    analyze_p.add_argument(
+        "--out", metavar="PATH", help="also write the JSON report to PATH"
+    )
+    analyze_p.set_defaults(func=cmd_trace_analyze)
 
     topo_p = sub.add_parser(
         "topo", help="generate (and optionally save) a topology"

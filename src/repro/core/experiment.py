@@ -300,13 +300,22 @@ def run_experiment(
     convergence phase timings are recorded.  When ``obs`` is None the
     session installed by :func:`repro.obs.session.observe` (if any) is
     used, so sweeps deep inside the figure harness can be observed
-    without threading a parameter through every layer.  Observation is
+    without threading a parameter through every layer.  A session with
+    ``trace=True`` additionally attaches a causal tracer to the trial and
+    records its path-exploration / settle-time summary.  Observation is
     passive: the protocol trajectory is bit-identical with or without it.
     """
     if obs is None:
         obs = active_session()
     metrics = obs.registry if obs is not None else None
-    network = BGPNetwork(topology, spec.to_bgp_config(), seed=seed, metrics=metrics)
+    tracer = obs.make_tracer() if obs is not None else None
+    network = BGPNetwork(
+        topology,
+        spec.to_bgp_config(),
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+    )
     if obs is not None:
         obs.attach(network)
 

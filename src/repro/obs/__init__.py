@@ -7,6 +7,7 @@ registry, a provenance manifest with wall-clock phase timings, and an
 event-loop hotspot profile.  See docs/OBSERVABILITY.md for the catalogue.
 """
 
+from repro.obs.causality import CausalEvent, CausalGraph, load_trace
 from repro.obs.manifest import PhaseTiming, RunManifest, host_fingerprint
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
@@ -30,6 +31,8 @@ from repro.obs.session import ObsSession, active_session, observe
 
 __all__ = [
     "AggregateSample",
+    "CausalEvent",
+    "CausalGraph",
     "CounterMetric",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
@@ -47,6 +50,7 @@ __all__ = [
     "format_metric_name",
     "handler_category",
     "host_fingerprint",
+    "load_trace",
     "observe",
     "percentile",
     "write_aggregates_csv",

@@ -22,7 +22,17 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro.obs.export import (
     write_aggregates_csv,
@@ -36,6 +46,11 @@ from repro.obs.profiling import EventLoopProfiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.bgp.network import BGPNetwork
+    from repro.sim.trace import TraceRecord, Tracer
+
+#: Categories a session tracer records by default: exactly what the
+#: causal/convergence analysis consumes.
+DEFAULT_TRACE_CATEGORIES = frozenset({"causality", "route_change"})
 
 #: Stack of active sessions; the innermost one wins.
 _ACTIVE: List["ObsSession"] = []
@@ -69,6 +84,21 @@ class ObsSession:
         simulator; statistics accumulate across trials.
     probe_nodes:
         Optional node-id filter for per-node probe rows.
+    trace:
+        When True, every trial runs with a causal tracer attached
+        (:meth:`make_tracer`) and its path-exploration / settle-time
+        summary is recorded alongside the delay in the trial snapshot
+        and manifest.
+    trace_sink:
+        Optional per-record callable (e.g. a
+        :class:`~repro.sim.trace.JsonlSink`) forwarded to every trial
+        tracer; implies ``trace``.
+    trace_categories:
+        Category filter for trial tracers; defaults to
+        ``{"causality", "route_change"}`` (what the analysis consumes).
+    trace_max_records:
+        In-memory bound per trial tracer (drop-oldest; see
+        :class:`~repro.sim.trace.Tracer`).
     """
 
     def __init__(
@@ -76,12 +106,28 @@ class ObsSession:
         sample_interval: Optional[float] = None,
         profile: bool = False,
         probe_nodes: Optional[Sequence[int]] = None,
+        trace: bool = False,
+        trace_sink: Optional[Callable[["TraceRecord"], None]] = None,
+        trace_categories: Optional[Set[str]] = None,
+        trace_max_records: Optional[int] = None,
     ) -> None:
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
         self.registry = MetricsRegistry()
         self.sample_interval = sample_interval
         self.probe_nodes = probe_nodes
+        self.trace = bool(trace) or trace_sink is not None
+        self.trace_sink = trace_sink
+        self.trace_categories = (
+            set(trace_categories)
+            if trace_categories is not None
+            else set(DEFAULT_TRACE_CATEGORIES)
+        )
+        self.trace_max_records = trace_max_records
+        #: Per-trial exploration summaries (ConvergenceTimeline.summary()).
+        self.exploration_summaries: List[Dict[str, Any]] = []
+        self.last_exploration: Optional[Dict[str, Any]] = None
+        self._tracer: Optional["Tracer"] = None
         self.profiler: Optional[EventLoopProfiler] = (
             EventLoopProfiler() if profile else None
         )
@@ -107,6 +153,25 @@ class ObsSession:
     def probe(self) -> Optional[NetworkProbe]:
         """The probe of the most recently attached network, if any."""
         return self.probes[-1] if self.probes else None
+
+    def make_tracer(self) -> Optional["Tracer"]:
+        """A fresh causal tracer for the next trial, or None if untraced.
+
+        The experiment layer calls this while *constructing* the trial's
+        network (the tracer must exist before the simulator does); the
+        session holds on to it so :meth:`note_trial` can fold the trial's
+        exploration statistics once the run finishes.
+        """
+        if not self.trace:
+            return None
+        from repro.sim.trace import Tracer
+
+        self._tracer = Tracer(
+            categories=self.trace_categories,
+            sink=self.trace_sink,
+            max_records=self.trace_max_records,
+        )
+        return self._tracer
 
     def attach(self, network: "BGPNetwork") -> None:
         """Wire this session into a freshly built network (one per trial)."""
@@ -164,6 +229,22 @@ class ObsSession:
             snapshot["messages_sent"] = result.messages_sent
             snapshot["warmup_wall"] = result.warmup_wall
             snapshot["convergence_wall"] = result.convergence_wall
+        if self._tracer is not None:
+            # Fold the trial's causal trace into exploration analytics,
+            # then release the records (the sink, if any, has them all).
+            from repro.analysis.convergence import ConvergenceTimeline
+
+            t0 = result.failure_time if result is not None else None
+            timeline = ConvergenceTimeline.from_records(
+                self._tracer.records, t0=t0
+            )
+            exploration = timeline.summary()
+            exploration["trace_dropped"] = self._tracer.dropped
+            snapshot["exploration"] = exploration
+            self.exploration_summaries.append(exploration)
+            self.last_exploration = exploration
+            self._tracer.clear()
+            self._tracer = None
         self.trial_snapshots.append(snapshot)
 
     # ------------------------------------------------------------------
@@ -200,8 +281,28 @@ class ObsSession:
             manifest.extra.setdefault(
                 "profiled_events", self.profiler.total_events
             )
+        if self.exploration_summaries:
+            manifest.extra.setdefault(
+                "exploration", self.exploration_aggregate()
+            )
         self.manifest = manifest
         return manifest
+
+    def exploration_aggregate(self) -> Dict[str, Any]:
+        """Exploration counts rolled up across every traced trial."""
+        summaries = self.exploration_summaries
+        totals = [s["paths_explored_total"] for s in summaries]
+        return {
+            "trials": len(summaries),
+            "paths_explored_total": sum(totals),
+            "paths_explored_max_trial": max(totals, default=0),
+            "route_changes_total": sum(
+                s["route_changes"] for s in summaries
+            ),
+            "settle_p95_max": max(
+                (s["settle"]["p95"] for s in summaries), default=0.0
+            ),
+        }
 
     def export(
         self, directory: Union[str, Path], command: str = ""

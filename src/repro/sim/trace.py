@@ -12,12 +12,14 @@ behaviour without parsing log text.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
+    Deque,
     Dict,
     Iterator,
     List,
@@ -69,6 +71,7 @@ class JsonlSink:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("w", encoding="utf-8")
         self.records_written = 0
 
@@ -105,6 +108,12 @@ class Tracer:
         Optional callable invoked with each accepted record (e.g. ``print``
         or a file writer); records are retained in memory either way unless
         ``keep`` is False.
+    max_records:
+        When set, at most this many records are retained in memory;
+        older records are dropped first and counted in :attr:`dropped`.
+        Sinks still see every record, so a bounded tracer can front an
+        unbounded :class:`JsonlSink`.  ``None`` (the default) keeps
+        everything.
     """
 
     def __init__(
@@ -112,11 +121,19 @@ class Tracer:
         categories: Optional[set[str]] = None,
         sink: Optional[Callable[[TraceRecord], None]] = None,
         keep: bool = True,
+        max_records: Optional[int] = None,
     ) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None)")
         self.categories = categories
         self.sink = sink
         self.keep = keep
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        #: Records dropped (oldest-first) to honour ``max_records``.
+        self.dropped = 0
+        self.records: Union[List[TraceRecord], Deque[TraceRecord]] = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
 
     @property
     def enabled(self) -> bool:
@@ -134,6 +151,12 @@ class Tracer:
             return
         record = TraceRecord(time, category, node, tuple(detail))
         if self.keep:
+            if (
+                self.max_records is not None
+                and len(self.records) == self.max_records
+            ):
+                # The deque's maxlen evicts the oldest record on append.
+                self.dropped += 1
             self.records.append(record)
         if self.sink is not None:
             self.sink(record)

@@ -80,6 +80,60 @@ def test_run_without_obs_flags_writes_nothing(tmp_path, capsys):
     assert list(tmp_path.iterdir()) == []
 
 
+def test_trace_out_writes_complete_jsonl(tmp_path, capsys):
+    """--trace-out must close the sink before the command returns, so the
+    final line is never truncated."""
+    trace = tmp_path / "trace.jsonl"
+    code = run_cli(tmp_path, "--trace-out", str(trace))
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"wrote {trace}" in captured.err
+    assert "path exploration" in captured.out
+    assert "settle times" in captured.out
+    lines = trace.read_text().splitlines()
+    assert lines
+    for line in lines:  # every line parses: nothing was cut short
+        json.loads(line)
+    categories = {json.loads(line)["category"] for line in lines}
+    assert categories == {"causality", "route_change"}
+
+
+def test_trace_analyze_reports_on_cli_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert run_cli(tmp_path, "--trace-out", str(trace)) == 0
+    capsys.readouterr()
+    code = main(["trace", "analyze", str(trace)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "causal trace analysis" in captured.out
+    assert "failure-injection" in captured.out
+    assert "paths explored" in captured.out
+
+
+def test_trace_analyze_json_and_report_out(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert run_cli(tmp_path, "--trace-out", str(trace)) == 0
+    capsys.readouterr()
+    report_path = tmp_path / "report.json"
+    code = main(
+        ["trace", "analyze", str(trace), "--json", "--out", str(report_path)]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    printed = json.loads(captured.out)
+    saved = json.loads(report_path.read_text())
+    assert printed == saved
+    assert saved["causality"]["failure_roots"]
+    assert saved["convergence"]["paths_explored_total"] >= 0
+
+
+def test_trace_analyze_missing_file_fails_cleanly(tmp_path, capsys):
+    code = main(["trace", "analyze", str(tmp_path / "nope.jsonl")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot analyze" in captured.err
+
+
 def test_sweep_with_metrics_out(tmp_path, capsys):
     out = tmp_path / "sweep-out"
     code = main(

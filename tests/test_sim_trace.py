@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.trace import (
     Counter,
@@ -48,6 +50,49 @@ def test_clear():
     tracer.emit(1.0, "x", None)
     tracer.clear()
     assert len(tracer) == 0
+
+
+def test_max_records_drops_oldest():
+    tracer = Tracer(max_records=3)
+    for i in range(5):
+        tracer.emit(float(i), "x", i)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r.node for r in tracer.records] == [2, 3, 4]
+
+
+def test_max_records_sink_still_sees_everything():
+    seen = []
+    tracer = Tracer(sink=seen.append, max_records=2)
+    for i in range(4):
+        tracer.emit(float(i), "x", i)
+    assert len(seen) == 4
+    assert len(tracer) == 2
+    assert tracer.dropped == 2
+
+
+def test_max_records_unset_keeps_everything():
+    tracer = Tracer()
+    for i in range(100):
+        tracer.emit(float(i), "x", i)
+    assert len(tracer) == 100
+    assert tracer.dropped == 0
+
+
+def test_max_records_clear_and_by_category():
+    tracer = Tracer(max_records=4)
+    for i in range(6):
+        tracer.emit(float(i), "a" if i % 2 else "b", i)
+    assert len(list(tracer.by_category("a"))) == 2
+    tracer.clear()
+    assert len(tracer) == 0
+    tracer.emit(0.0, "a", 1)
+    assert len(tracer) == 1
+
+
+def test_max_records_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
 
 
 def test_null_tracer_drops_everything():
@@ -119,6 +164,13 @@ def test_jsonl_sink_round_trip(tmp_path):
     rows = [json.loads(line) for line in path.read_text().splitlines()]
     assert [r["category"] for r in rows] == ["update_sent", "route_change"]
     assert rows[0]["detail"] == ["dest", 7]
+
+
+def test_jsonl_sink_creates_parent_directories(tmp_path):
+    path = tmp_path / "not" / "yet" / "there" / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        Tracer(sink=sink).emit(1.0, "x", None)
+    assert path.exists()
 
 
 def test_jsonl_sink_close_idempotent(tmp_path):

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Benchmark convergence delay *and* path exploration across schemes.
+
+The start of the perf trajectory: one fixed scenario run under each MRAI /
+queue scheme with causal tracing on, reporting per scheme the convergence
+delay, message count, path-exploration totals and wall-clock speed, and
+writing everything to a ``BENCH_convergence.json`` so CI can archive the
+numbers commit over commit:
+
+    PYTHONPATH=src python tools/bench_convergence.py
+    PYTHONPATH=src python tools/bench_convergence.py --nodes 120 \\
+        --failure 0.2 --out results/BENCH_convergence.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.obs import ObsSession
+from repro.obs.manifest import host_fingerprint
+from repro.topology.skewed import skewed_topology
+
+#: The scheme ladder every bench run compares (fig07's cast plus batching).
+SCHEMES = (
+    ("mrai-0.5", lambda: ExperimentSpec(mrai=ConstantMRAI(0.5))),
+    ("mrai-2.25", lambda: ExperimentSpec(mrai=ConstantMRAI(2.25))),
+    ("dynamic", lambda: ExperimentSpec(mrai=DynamicMRAI())),
+    (
+        "dynamic+batch",
+        lambda: ExperimentSpec(
+            mrai=DynamicMRAI(), queue_discipline="dest_batch"
+        ),
+    ),
+)
+
+
+def bench_scheme(name, make_spec, args: argparse.Namespace) -> Dict:
+    spec = make_spec().with_(failure_fraction=args.failure)
+    obs = ObsSession(trace=True)
+    topology = skewed_topology(args.nodes, seed=args.topo_seed)
+    result = run_experiment(topology, spec, seed=args.seed, obs=obs)
+    exploration = obs.last_exploration or {}
+    wall = result.warmup_wall + result.convergence_wall
+    return {
+        "scheme": name,
+        "convergence_delay": result.convergence_delay,
+        "messages_sent": result.messages_sent,
+        "route_changes": result.route_changes,
+        "paths_explored_total": exploration.get("paths_explored_total", 0),
+        "paths_explored_max": exploration.get("paths_explored_max", 0),
+        "settle_p95": exploration.get("settle", {}).get("p95", 0.0),
+        "events_executed": result.events_executed,
+        "wall_seconds": round(wall, 4),
+        "events_per_second": round(result.events_executed / max(wall, 1e-9)),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=60)
+    parser.add_argument("--failure", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--topo-seed", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_convergence.json",
+        help="where to write the JSON record (default: ./BENCH_convergence.json)",
+    )
+    args = parser.parse_args()
+
+    print(
+        f"bench: {args.nodes} nodes, {args.failure:.0%} failure, "
+        f"seed {args.seed}, topology seed {args.topo_seed}"
+    )
+    rows = []
+    for name, make_spec in SCHEMES:
+        row = bench_scheme(name, make_spec, args)
+        rows.append(row)
+        print(
+            f"  {name:<14} delay {row['convergence_delay']:7.2f} s  "
+            f"msgs {row['messages_sent']:6d}  "
+            f"paths {row['paths_explored_total']:5d}  "
+            f"{row['events_per_second']:8,d} ev/s"
+        )
+
+    record = {
+        "kind": "BENCH_convergence",
+        "nodes": args.nodes,
+        "failure_fraction": args.failure,
+        "seed": args.seed,
+        "topo_seed": args.topo_seed,
+        "host": host_fingerprint(),
+        "schemes": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    # The headline sanity claim of the paper: the adaptive schemes must
+    # not explore more than the aggressive constant on the same seed.
+    static = next(r for r in rows if r["scheme"] == "mrai-0.5")
+    dynamic = next(r for r in rows if r["scheme"] == "dynamic")
+    if dynamic["paths_explored_total"] >= static["paths_explored_total"]:
+        print(
+            "WARNING: dynamic MRAI did not reduce path exploration "
+            f"({dynamic['paths_explored_total']} >= "
+            f"{static['paths_explored_total']})"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
