@@ -22,19 +22,44 @@ from repro.bgp.routes import Route, local_route
 
 
 class AdjRibIn:
-    """Latest route per (destination, peer)."""
+    """Latest route per (destination, peer).
 
-    __slots__ = ("_table",)
+    Maintains a per-destination *best candidate* cache so the decision
+    process does not rescan every peer's advertisement when nothing
+    relevant changed.  The cache is invalidated exactly when a mutation
+    could change the answer: a stored route either beats the incumbent
+    (cache updates in O(1)) or replaces the incumbent's slot (cache entry
+    dropped, recomputed lazily); a withdrawal only invalidates when it
+    removes the incumbent.  Route preference is a strict total order
+    (see :meth:`~repro.bgp.routes.Route.preference_key`), so the cached
+    best is independent of iteration order and selection results are
+    bit-identical to a full scan.
+    """
+
+    __slots__ = ("_table", "_best")
 
     def __init__(self) -> None:
         # dest -> peer -> Route
         self._table: Dict[int, Dict[int, Route]] = {}
+        # dest -> best stored candidate; a missing key means "recompute".
+        self._best: Dict[int, Route] = {}
 
     def store(self, route: Route) -> None:
         """Record ``route`` as peer's current advertisement for its dest."""
         if route.peer is None:
             raise ValueError("Adj-RIB-In only holds peer-learned routes")
-        self._table.setdefault(route.dest, {})[route.peer] = route
+        dest = route.dest
+        peers = self._table.setdefault(dest, {})
+        old = peers.get(route.peer)
+        peers[route.peer] = route
+        best = self._best.get(dest)
+        if best is None:
+            return
+        if old is best:
+            # The incumbent's slot was overwritten: recompute lazily.
+            del self._best[dest]
+        elif route.better_than(best):
+            self._best[dest] = route
 
     def withdraw(self, dest: int, peer: int) -> bool:
         """Clear peer's slot for ``dest``; returns whether a route existed."""
@@ -43,6 +68,9 @@ class AdjRibIn:
             del peers[peer]
             if not peers:
                 del self._table[dest]
+            best = self._best.get(dest)
+            if best is not None and best.peer == peer:
+                del self._best[dest]
             return True
         return False
 
@@ -57,6 +85,22 @@ class AdjRibIn:
 
     def candidates(self, dest: int) -> Iterable[Route]:
         return self._table.get(dest, {}).values()
+
+    def best_candidate(self, dest: int) -> Optional[Route]:
+        """Best stored candidate for ``dest`` (cached; no exclusions).
+
+        Recomputes with a full scan only when the cache was invalidated
+        by a mutation since the last call.
+        """
+        best = self._best.get(dest)
+        if best is not None:
+            return best
+        for candidate in self._table.get(dest, {}).values():
+            if candidate.better_than(best):
+                best = candidate
+        if best is not None:
+            self._best[dest] = best
+        return best
 
     def get(self, dest: int, peer: int) -> Optional[Route]:
         return self._table.get(dest, {}).get(peer)
@@ -110,12 +154,21 @@ def run_decision(
     whose advertising peer is currently ineligible (route flap damping
     suppression).  Returns ``None`` when no feasible route exists.
     """
-    best: Optional[Route] = None
+    if excluded_peers:
+        # Damping exclusions shrink the candidate set in ways the cache
+        # does not model; fall back to the full scan without touching it.
+        best: Optional[Route] = None
+        if dest in own_prefixes:
+            best = local_route(dest)
+        for candidate in adj_rib_in.candidates(dest):
+            if candidate.peer in excluded_peers:
+                continue
+            if candidate.better_than(best):
+                best = candidate
+        return best
+    best = adj_rib_in.best_candidate(dest)
     if dest in own_prefixes:
-        best = local_route(dest)
-    for candidate in adj_rib_in.candidates(dest):
-        if excluded_peers and candidate.peer in excluded_peers:
-            continue
-        if candidate.better_than(best):
-            best = candidate
+        local = local_route(dest)
+        if local.better_than(best):
+            return local
     return best

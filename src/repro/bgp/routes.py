@@ -20,13 +20,40 @@ tie-breaks so simulations are exactly reproducible:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+#: Canonical instances of AS-path tuples (see :func:`intern_path`).
+_PATH_INTERN: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+#: Epoch-reset bound: distinct live paths in any one simulation are far
+#: below this, so the table only resets across very long sweep processes.
+_PATH_INTERN_MAX = 1 << 18
+
+
+def intern_path(path: Tuple[int, ...]) -> Tuple[int, ...]:
+    """The canonical instance of an AS-path tuple.
+
+    Simulations re-create the same few thousand paths millions of times
+    (every UPDATE carries one, every RIB slot stores one).  Interning
+    collapses them to one object each, which shrinks resident RIB state
+    and makes the hot equality checks (``existing.path == msg.path``,
+    ``export == last``) hit CPython's identity fast path.  Purely an
+    object-level dedup: values are unchanged, so trajectories stay
+    bit-identical.
+    """
+    cached = _PATH_INTERN.get(path)
+    if cached is not None:
+        return cached
+    if len(_PATH_INTERN) >= _PATH_INTERN_MAX:
+        _PATH_INTERN.clear()
+    _PATH_INTERN[path] = path
+    return path
 
 
 class Route:
     """A single RIB entry for one destination."""
 
-    __slots__ = ("dest", "path", "peer", "ebgp", "rank")
+    __slots__ = ("dest", "path", "peer", "ebgp", "rank", "_key")
 
     def __init__(
         self,
@@ -41,6 +68,9 @@ class Route:
         self.peer = peer
         self.ebgp = ebgp
         self.rank = rank
+        #: Memoized preference key; routes are immutable once built, so
+        #: the first comparison computes it and every later one reuses it.
+        self._key: Optional[Tuple[int, int, int, int, int]] = None
 
     @property
     def is_local(self) -> bool:
@@ -52,14 +82,23 @@ class Route:
         return len(self.path)
 
     def preference_key(self) -> Tuple[int, int, int, int, int]:
-        """Sort key: lower is better.  Total order over candidates."""
-        return (
-            self.rank,
-            len(self.path),
-            0 if self.peer is None else 1,
-            0 if self.ebgp else 1,
-            -1 if self.peer is None else self.peer,
-        )
+        """Sort key: lower is better.  Total order over candidates.
+
+        The last component (advertising peer id) makes the order strict
+        over any candidate set — no two distinct candidates for the same
+        destination compare equal — so the best route is independent of
+        iteration order.
+        """
+        key = self._key
+        if key is None:
+            key = self._key = (
+                self.rank,
+                len(self.path),
+                0 if self.peer is None else 1,
+                0 if self.ebgp else 1,
+                -1 if self.peer is None else self.peer,
+            )
+        return key
 
     def better_than(self, other: Optional["Route"]) -> bool:
         """Strictly preferred over ``other`` (``None`` = no route)."""

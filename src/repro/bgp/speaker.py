@@ -27,7 +27,7 @@ from repro.bgp.mrai import MRAIController
 from repro.bgp.session import Session, SessionMessage
 from repro.bgp.queues import QueueDiscipline, make_queue
 from repro.bgp.rib import AdjRibIn, LocRib, run_decision
-from repro.bgp.routes import Route
+from repro.bgp.routes import Route, intern_path
 from repro.sim.timers import Timer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -200,10 +200,14 @@ class BGPSpeaker:
         if dropped:
             self.network.counters.incr("updates_dropped_stale", dropped)
         lo, hi = self.config.processing_delay_range
-        if hi > 0.0:
-            service = sum(self._svc_rng.uniform(lo, hi) for __ in batch)
-        else:
+        if hi <= 0.0:
             service = 0.0
+        elif len(batch) == 1:
+            # FIFO (batch size 1) is the common case: skip the generator
+            # machinery.  Same single RNG draw, so trajectories match.
+            service = self._svc_rng.uniform(lo, hi)
+        else:
+            service = sum(self._svc_rng.uniform(lo, hi) for __ in batch)
         if self._m_service is not None:
             self._m_service.observe(service)
             self._m_batch.observe(len(batch))
@@ -218,13 +222,14 @@ class BGPSpeaker:
         self._busy = False
         self.controller.on_busy_interval(self._busy_since, now)
         affected: Set[int] = set()
+        if batch:
+            self.network.counters.incr("updates_processed", len(batch))
         if self.sim.tracer.enabled:
             # Traced twin of the loop below: remember, per destination,
             # which received update last changed the RIB-In, so the
             # advertisements the reselection emits carry their cause.
             cause_by_dest: Dict[int, int] = {}
             for msg in batch:
-                self.network.counters.incr("updates_processed")
                 if self._apply_update(msg):
                     affected.add(msg.dest)
                     cause_by_dest[msg.dest] = msg.uid
@@ -234,7 +239,6 @@ class BGPSpeaker:
             self._cause_uid = -1
         else:
             for msg in batch:
-                self.network.counters.incr("updates_processed")
                 if self._apply_update(msg):
                     affected.add(msg.dest)
             for dest in affected:
@@ -293,7 +297,7 @@ class BGPSpeaker:
                 return self.adj_rib_in.withdraw(msg.dest, msg.sender)
             rank = imported
         self.adj_rib_in.store(
-            Route(msg.dest, msg.path, msg.sender, ps.ebgp, rank=rank)
+            Route(msg.dest, intern_path(msg.path), msg.sender, ps.ebgp, rank=rank)
         )
         return True
 
@@ -397,7 +401,7 @@ class BGPSpeaker:
                     self.asn, learned_from, ps.asn
                 ):
                     return None
-            return (self.asn,) + best.path
+            return intern_path((self.asn,) + best.path)
         # iBGP export: local and eBGP-learned routes only (full-mesh rule:
         # a route learned over iBGP is never re-advertised over iBGP).
         if not best.is_local and not best.ebgp:

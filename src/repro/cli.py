@@ -188,7 +188,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.jobs < 1:
+        print("--jobs must be a positive integer", file=sys.stderr)
+        return 2
     with contextlib.ExitStack() as stack:
+        from repro.core.parallel import parallel_jobs
+
+        stack.enter_context(parallel_jobs(args.jobs))
         obs = _make_obs_session(args, stack)
         if obs is not None:
             from repro.obs.session import observe
@@ -347,6 +353,14 @@ def make_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep", help="regenerate one paper figure")
     sweep_p.add_argument("--figure", required=True)
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial execution (default 1 = serial; "
+        "results are bit-identical across any N)",
+    )
     sweep_p.add_argument(
         "--scale", choices=("quick", "full"), default="quick"
     )

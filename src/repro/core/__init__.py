@@ -5,6 +5,8 @@
   utilization / message-count overload monitors (Sec 4.3);
 * :mod:`repro.core.experiment` — warm-up, failure injection, convergence
   measurement, multi-trial aggregation;
+* :mod:`repro.core.parallel` — trial-execution backends (serial and
+  multi-process) with deterministic seed fan-out;
 * :mod:`repro.core.sweep` — parameter sweeps producing the series behind
   every figure;
 * :mod:`repro.core.validation` — post-convergence routing correctness
@@ -27,6 +29,18 @@ from repro.core.experiment import (
     run_experiment,
     run_trials,
 )
+from repro.core.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    TrialExecutionError,
+    TrialExecutor,
+    TrialTask,
+    derive_trial_seeds,
+    get_default_jobs,
+    make_executor,
+    parallel_jobs,
+    set_default_jobs,
+)
 from repro.core.sweep import Series, SweepPoint, failure_size_sweep, mrai_sweep
 from repro.core.theory import (
     labovitz_clique_bound,
@@ -46,20 +60,30 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "MessageCountController",
+    "ProcessExecutor",
     "Progress",
     "RoutingViolation",
+    "SerialExecutor",
     "Series",
     "SweepPoint",
+    "TrialExecutionError",
+    "TrialExecutor",
     "TrialResult",
+    "TrialTask",
     "UtilizationController",
+    "derive_trial_seeds",
     "failure_size_sweep",
+    "get_default_jobs",
     "labovitz_clique_bound",
+    "make_executor",
     "mrai_sweep",
+    "parallel_jobs",
     "pei_unloaded_bound",
     "recommend_ladder",
     "recommend_mrai",
     "run_experiment",
     "run_trials",
+    "set_default_jobs",
     "saturation_mrai_ratio",
     "validate_routing",
 ]

@@ -20,9 +20,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.session import ObsSession, active_session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.parallel import TrialExecutor
 
 from repro.bgp.config import DEFAULT_PROCESSING_RANGE, BGPConfig
 from repro.bgp.damping import DampingConfig
@@ -399,16 +410,53 @@ def run_trials(
     seeds: Sequence[int],
     progress: Optional[ProgressFn] = None,
     obs: Optional[ObsSession] = None,
+    jobs: Optional[int] = None,
+    executor: Optional["TrialExecutor"] = None,
 ) -> ExperimentResult:
     """Run one trial per seed, each on its own topology instance.
 
     ``topology_factory(seed)`` lets trials vary the topology realization
     the way the paper's repeated runs did; pass ``lambda s: fixed_topo`` to
     hold the topology constant and vary only the protocol randomness.
-    ``progress`` (when given) is called after every trial with a
+    ``progress`` (when given) is called after every completed trial with a
     :class:`Progress` carrying done/total counts, elapsed wall time and an
     ETA; ``obs`` is forwarded to every :func:`run_experiment`.
+
+    ``jobs`` (or an explicit ``executor``) selects the execution backend:
+    ``jobs > 1`` fans whole trials out over a process pool (see
+    :mod:`repro.core.parallel`); ``None`` uses the process-wide default
+    installed by :func:`repro.core.parallel.parallel_jobs`.  Whatever the
+    backend, results are folded in seed order, so the returned
+    :class:`ExperimentResult` is bit-identical across ``jobs`` values for
+    the same seeds.  Observed runs ship each worker's metrics, phase
+    timings, probe samples and trace records back to ``obs`` (or the
+    active session) for aggregation.
     """
+    from repro.core.parallel import get_default_jobs, make_executor
+
+    if obs is None:
+        obs = active_session()
+    if executor is None:
+        resolved_jobs = jobs if jobs is not None else get_default_jobs()
+        if resolved_jobs <= 1:
+            # Inline serial fast path: no task/payload round-trip, the
+            # parent session observes every trial directly.
+            return _run_trials_inline(
+                topology_factory, spec, seeds, progress, obs
+            )
+        executor = make_executor(resolved_jobs)
+    return _run_trials_executor(
+        topology_factory, spec, seeds, progress, obs, executor
+    )
+
+
+def _run_trials_inline(
+    topology_factory: Callable[[int], Topology],
+    spec: ExperimentSpec,
+    seeds: Sequence[int],
+    progress: Optional[ProgressFn],
+    obs: Optional[ObsSession],
+) -> ExperimentResult:
     result = ExperimentResult(spec=spec)
     start = time.perf_counter()
     total = len(seeds)
@@ -424,4 +472,55 @@ def run_trials(
                     label=spec.mrai.name,
                 )
             )
+    return result
+
+
+def _run_trials_executor(
+    topology_factory: Callable[[int], Topology],
+    spec: ExperimentSpec,
+    seeds: Sequence[int],
+    progress: Optional[ProgressFn],
+    obs: Optional[ObsSession],
+    executor: "TrialExecutor",
+) -> ExperimentResult:
+    from repro.core.parallel import TrialTask
+
+    obs_config = obs.worker_args() if obs is not None else None
+    tasks = [
+        TrialTask(
+            index=index,
+            topology=topology_factory(seed),
+            spec=spec,
+            seed=seed,
+            obs_config=obs_config,
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    start = time.perf_counter()
+    total = len(tasks)
+    done_count = 0
+
+    def on_done(outcome) -> None:
+        # Completion ticks arrive in completion order (not seed order);
+        # the count is monotonic regardless.
+        nonlocal done_count
+        done_count += 1
+        if progress is not None:
+            progress(
+                Progress(
+                    done=done_count,
+                    total=total,
+                    elapsed=time.perf_counter() - start,
+                    label=spec.mrai.name,
+                )
+            )
+
+    outcomes = executor.run(tasks, on_done)
+    # Fold in submission (seed) order: the accumulators then see the
+    # exact sequence the serial path streams, bit for bit.
+    result = ExperimentResult(spec=spec)
+    for __, trial, payload in outcomes:
+        result.add(trial)
+        if obs is not None and payload is not None:
+            obs.absorb(payload)
     return result

@@ -1,0 +1,283 @@
+"""Parallel trial execution: fan whole trials out across worker processes.
+
+Every figure in the paper is a sweep of many *independent* trials — each
+one a full warm-up + failure + convergence simulation with its own
+topology and seed — which makes the workload embarrassingly parallel the
+same way SSFNet's parallel event-driven substrate exploited.  This module
+adds the execution backend the serial drivers lacked:
+
+* :class:`TrialExecutor` — the backend interface: map a list of
+  :class:`TrialTask` objects to ``(index, TrialResult, obs payload)``
+  triples, reporting a completion tick per finished trial;
+* :class:`SerialExecutor` — runs tasks in-process, in order.  Exists so
+  the two backends are *symmetric*: both round-trip observability through
+  the same picklable payloads, so switching backends never changes what a
+  session records;
+* :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
+  fan-out.  Trials complete out of order; the caller folds results back
+  in submission (seed) order, which is what makes a parallel
+  :class:`~repro.core.experiment.ExperimentResult` *bit-identical* to a
+  serial one on the same master seed.
+
+Determinism contract
+--------------------
+A trial is a pure function of ``(topology, spec, seed)``: random streams
+are derived via BLAKE2b (process-independent, ``PYTHONHASHSEED``-immune),
+topologies are built in the parent exactly as the serial path does, and
+results are folded in task order regardless of completion order.  Workers
+therefore produce the identical :class:`TrialResult` the parent would
+have, and ``jobs=N`` equals ``jobs=1`` bit for bit.
+
+The ``--jobs`` default used by the sweep drivers is a module-level
+setting so deep call stacks (the figure harness) pick it up without
+threading a parameter through thirteen figure modules::
+
+    with parallel_jobs(4):
+        compute_figure("fig03")
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.sim.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.experiment import TrialResult
+
+#: A finished trial: (submission index, measurement, obs payload or None).
+TrialOutcome = Tuple[int, "TrialResult", Optional[Dict[str, Any]]]
+
+#: Per-completion callback (called once per finished trial, any order).
+DoneFn = Callable[[TrialOutcome], None]
+
+#: Module-level default for ``jobs`` when callers pass None (see
+#: :func:`parallel_jobs`); 1 keeps every entry point serial by default.
+_DEFAULT_JOBS = 1
+
+
+def get_default_jobs() -> int:
+    """The process-wide default worker count (1 = serial)."""
+    return _DEFAULT_JOBS
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count."""
+    global _DEFAULT_JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_JOBS = jobs
+
+
+@contextmanager
+def parallel_jobs(jobs: int) -> Iterator[int]:
+    """Scope the default worker count to a ``with`` block.
+
+    This is how the CLI's ``--jobs`` reaches sweeps buried inside the
+    figure harness without changing every figure module's signature.
+    """
+    previous = get_default_jobs()
+    set_default_jobs(jobs)
+    try:
+        yield jobs
+    finally:
+        set_default_jobs(previous)
+
+
+def derive_trial_seeds(
+    master_seed: int, count: int, name: str = "trial"
+) -> List[int]:
+    """Expand one master seed into ``count`` unique per-trial seeds.
+
+    Derivation goes through the same BLAKE2b keyed hash the named random
+    streams use, so the expansion is stable across processes and Python
+    versions; collisions (astronomically unlikely) are skipped so the
+    returned seeds are guaranteed distinct.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds: List[int] = []
+    seen = set()
+    index = 0
+    while len(seeds) < count:
+        # >> 1 keeps the seed in RandomStreams' non-negative range.
+        seed = derive_seed(master_seed, f"{name}:{index}") >> 1
+        index += 1
+        if seed in seen:
+            continue
+        seen.add(seed)
+        seeds.append(seed)
+    return seeds
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """Everything one worker needs to run one trial.
+
+    The topology is built *in the parent* (exactly as the serial path
+    does) and shipped whole, so topology factories never need to be
+    picklable and factory-side global state behaves identically under
+    both backends.  ``obs_config`` is the picklable session recipe from
+    :meth:`repro.obs.session.ObsSession.worker_args`, or None when the
+    run is unobserved.
+    """
+
+    index: int
+    topology: Any
+    spec: Any
+    seed: int
+    obs_config: Optional[Dict[str, Any]] = None
+
+
+class TrialExecutionError(RuntimeError):
+    """A trial failed inside an executor; carries which one and why."""
+
+    def __init__(self, index: int, seed: int, cause: BaseException) -> None:
+        super().__init__(
+            f"trial {index} (seed {seed}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.seed = seed
+        self.cause = cause
+
+
+def execute_trial(task: TrialTask) -> TrialOutcome:
+    """Run one trial (the worker entry point; also used serially).
+
+    When the task carries an obs recipe, a fresh worker-local
+    :class:`~repro.obs.session.ObsSession` observes the run and its
+    entire state — metrics, phase timings, probe samples, profiler rows,
+    exploration summaries and (when the parent has a trace sink)
+    the raw trace records — is returned as a picklable payload for the
+    parent session to absorb.
+    """
+    # Imported here, not at module level: experiment.py imports this
+    # module at its top, and workers only pay the import once per process.
+    from repro.core.experiment import run_experiment
+
+    obs = None
+    if task.obs_config is not None:
+        from repro.obs.session import ObsSession
+
+        obs = ObsSession.for_worker(task.obs_config)
+    result = run_experiment(task.topology, task.spec, seed=task.seed, obs=obs)
+    payload = obs.worker_payload() if obs is not None else None
+    return task.index, result, payload
+
+
+class TrialExecutor:
+    """Backend interface: run trial tasks, stream completion ticks."""
+
+    #: Worker count the backend fans out to (1 for serial).
+    jobs: int = 1
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        on_done: Optional[DoneFn] = None,
+    ) -> List[TrialOutcome]:
+        """Execute every task; return outcomes in *submission* order.
+
+        ``on_done`` is called once per finished trial, in completion
+        order (which for process backends is not submission order) —
+        it is the progress stream, not the result stream.
+        """
+        raise NotImplementedError
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process execution, in submission order."""
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        on_done: Optional[DoneFn] = None,
+    ) -> List[TrialOutcome]:
+        outcomes: List[TrialOutcome] = []
+        for task in tasks:
+            try:
+                outcome = execute_trial(task)
+            except Exception as exc:
+                raise TrialExecutionError(task.index, task.seed, exc) from exc
+            outcomes.append(outcome)
+            if on_done is not None:
+                on_done(outcome)
+        return outcomes
+
+
+class ProcessExecutor(TrialExecutor):
+    """Whole-trial fan-out over a process pool.
+
+    Per-trial work segregation (one worker owns one trial end to end,
+    FRR-style) means workers never share simulator state; the only
+    cross-process traffic is the pickled task going out and the
+    ``(result, obs payload)`` coming back.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run(
+        self,
+        tasks: Sequence[TrialTask],
+        on_done: Optional[DoneFn] = None,
+    ) -> List[TrialOutcome]:
+        if not tasks:
+            return []
+        outcomes: List[Optional[TrialOutcome]] = [None] * len(tasks)
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_trial, task): (position, task)
+                for position, task in enumerate(tasks)
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(
+                        pending, return_when=FIRST_EXCEPTION
+                    )
+                    for future in done:
+                        position, task = futures[future]
+                        try:
+                            outcome = future.result()
+                        except Exception as exc:
+                            raise TrialExecutionError(
+                                task.index, task.seed, exc
+                            ) from exc
+                        outcomes[position] = outcome
+                        if on_done is not None:
+                            on_done(outcome)
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+
+def make_executor(jobs: int) -> TrialExecutor:
+    """The standard backend for a worker count: serial at 1, processes above."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs)

@@ -9,6 +9,7 @@ text tables recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -36,18 +37,24 @@ def _sweep_reporter(
     if progress is None:
         return None
     state = {"done": 0}
+    lock = threading.Lock()
     start = time.perf_counter()
 
     def tick(point_progress: Progress) -> None:
-        state["done"] += 1
-        progress(
-            Progress(
-                done=state["done"],
-                total=total,
-                elapsed=time.perf_counter() - start,
-                label=label or point_progress.label,
+        # Completion callbacks may arrive out of order (and, with a
+        # threaded executor, concurrently): count them in the parent
+        # under a lock so ``done`` is monotonic and never exceeds the
+        # sweep total, instead of trusting the per-point tick.
+        with lock:
+            state["done"] = done = min(state["done"] + 1, total)
+            progress(
+                Progress(
+                    done=done,
+                    total=total,
+                    elapsed=time.perf_counter() - start,
+                    label=label or point_progress.label,
+                )
             )
-        )
 
     return tick
 
@@ -117,11 +124,14 @@ def failure_size_sweep(
     seeds: Sequence[int],
     label: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = None,
 ) -> Series:
     """Sweep the failure size, holding the scheme fixed (Figs 1/2/6-11).
 
     ``progress`` receives one :class:`Progress` tick per completed trial,
-    with totals and ETA covering the whole sweep.
+    with totals and ETA covering the whole sweep.  ``jobs`` selects the
+    trial-execution backend (see :func:`repro.core.experiment.run_trials`);
+    results are bit-identical across ``jobs`` values.
     """
     series = Series(
         label=label or spec.mrai.name, x_name="failure_fraction"
@@ -135,6 +145,7 @@ def failure_size_sweep(
             spec.with_(failure_fraction=fraction),
             seeds,
             progress=tick,
+            jobs=jobs,
         )
         series.add(fraction, result)
     return series
@@ -147,6 +158,7 @@ def mrai_sweep(
     seeds: Sequence[int],
     label: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = None,
 ) -> Series:
     """Sweep a constant MRAI, holding the failure fixed (Figs 3/4/5/12)."""
     series = Series(label=label or "delay-vs-mrai", x_name="mrai")
@@ -159,6 +171,7 @@ def mrai_sweep(
             spec.with_(mrai=ConstantMRAI(value)),
             seeds,
             progress=tick,
+            jobs=jobs,
         )
         series.add(value, result)
     return series
@@ -170,6 +183,7 @@ def scheme_comparison(
     fractions: Sequence[float],
     seeds: Sequence[int],
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = None,
 ) -> List[Series]:
     """Several schemes swept over failure sizes (Figs 6/7/10/13).
 
@@ -188,6 +202,7 @@ def scheme_comparison(
                 spec.with_(failure_fraction=fraction),
                 seeds,
                 progress=tick,
+                jobs=jobs,
             )
             series.add(fraction, result)
         out.append(series)

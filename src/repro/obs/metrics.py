@@ -316,6 +316,35 @@ class MetricsRegistry:
         """One export record per child, deterministically ordered."""
         return [child.to_record() for child in self.children()]
 
+    def absorb_records(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Fold exported :meth:`records` rows into this registry.
+
+        The merge discipline matches how a single registry accumulates
+        across trials: counters add, histograms merge bucket-wise, and
+        gauges take the incoming value (last write wins — callers absorb
+        in trial order, so the final value matches a serial run).  This
+        is how per-trial registries from worker processes aggregate into
+        the parent session's registry.
+        """
+        for record in records:
+            kind = record.get("kind")
+            labels = record.get("labels") or {}
+            if kind == "counter":
+                self.counter(record["name"], **labels).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(record["name"], **labels).set(record["value"])
+            elif kind == "histogram":
+                child = self.histogram(
+                    record["name"], buckets=record["buckets"], **labels
+                )
+                incoming = record["counts"]
+                for i, n in enumerate(incoming):
+                    child.counts[i] += n
+                child.sum += record["sum"]
+                child.count += record["count"]
+            # Unknown kinds (trial snapshots, profile rows) are not
+            # registry state; ignore them rather than fail mid-merge.
+
     def snapshot(self) -> Dict[str, Any]:
         """Flat ``{full_name: value}`` view (histograms report their mean)."""
         out: Dict[str, Any] = {}

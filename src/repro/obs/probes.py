@@ -75,6 +75,27 @@ class AggregateSample:
     mrai_levels: Dict[int, int]
 
 
+class ProbeData:
+    """Detached probe samples — e.g. shipped back from a worker process.
+
+    Quacks like a finished :class:`NetworkProbe` for the exporters (which
+    only read ``node_samples`` and ``aggregates``); ``network`` is None
+    because the network that produced the samples lived in another
+    process.
+    """
+
+    __slots__ = ("node_samples", "aggregates", "network")
+
+    def __init__(
+        self,
+        node_samples: Sequence[NodeSample],
+        aggregates: Sequence[AggregateSample],
+    ) -> None:
+        self.node_samples: List[NodeSample] = list(node_samples)
+        self.aggregates: List[AggregateSample] = list(aggregates)
+        self.network = None
+
+
 class NetworkProbe:
     """Periodic in-simulation sampler for a :class:`BGPNetwork`.
 

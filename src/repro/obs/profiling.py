@@ -17,7 +17,7 @@ per event.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -92,6 +92,23 @@ class EventLoopProfiler:
         cell[1] += elapsed
         self.total_events += 1
         self.total_seconds += elapsed
+
+    def absorb_records(self, rows: Iterable[dict]) -> None:
+        """Fold exported :meth:`records` rows from another profiler in.
+
+        Used by the parallel backend: each worker profiles its own
+        simulator and ships the rows home, so a sweep's profile covers
+        every trial no matter which process ran it.
+        """
+        for row in rows:
+            cell = self._stats.get(row["category"])
+            if cell is None:
+                cell = [0, 0.0]
+                self._stats[row["category"]] = cell
+            cell[0] += row["events"]
+            cell[1] += row["total_seconds"]
+            self.total_events += row["events"]
+            self.total_seconds += row["total_seconds"]
 
     def reset(self) -> None:
         self._stats.clear()

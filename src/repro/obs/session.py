@@ -41,7 +41,7 @@ from repro.obs.export import (
 )
 from repro.obs.manifest import PhaseTiming, RunManifest, jsonable
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.probes import NetworkProbe
+from repro.obs.probes import NetworkProbe, ProbeData
 from repro.obs.profiling import EventLoopProfiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -140,6 +140,9 @@ class ObsSession:
         self._seeds: List[int] = []
         self._last_topology: str = ""
         self._last_counters: Dict[str, Any] = {}
+        #: Raw trace records captured for the parent (worker sessions
+        #: built by :meth:`for_worker` with ``capture_trace`` only).
+        self._captured_trace: Optional[List["TraceRecord"]] = None
 
     # ------------------------------------------------------------------
     # Hooks called by the experiment layer
@@ -246,6 +249,122 @@ class ObsSession:
             self._tracer.clear()
             self._tracer = None
         self.trial_snapshots.append(snapshot)
+
+    # ------------------------------------------------------------------
+    # Worker round-trip (parallel trial execution)
+    # ------------------------------------------------------------------
+    def worker_args(self) -> Dict[str, Any]:
+        """A picklable recipe for building equivalent worker sessions.
+
+        The parallel backend (:mod:`repro.core.parallel`) ships this to
+        each worker process, where :meth:`for_worker` rebuilds a session
+        observing exactly what this one would have observed inline.  The
+        trace sink itself cannot cross the process boundary, so when one
+        is installed the recipe asks workers to *capture* raw records for
+        replay into the parent's sink by :meth:`absorb`.
+        """
+        return {
+            "sample_interval": self.sample_interval,
+            "profile": self.profiler is not None,
+            "probe_nodes": (
+                list(self.probe_nodes) if self.probe_nodes is not None else None
+            ),
+            "trace": self.trace,
+            "trace_categories": sorted(self.trace_categories),
+            "trace_max_records": self.trace_max_records,
+            "capture_trace": self.trace_sink is not None,
+        }
+
+    @classmethod
+    def for_worker(cls, config: Dict[str, Any]) -> "ObsSession":
+        """Build a worker-local session from a :meth:`worker_args` recipe."""
+        captured: Optional[List["TraceRecord"]] = (
+            [] if config.get("capture_trace") else None
+        )
+        session = cls(
+            sample_interval=config.get("sample_interval"),
+            profile=bool(config.get("profile")),
+            probe_nodes=config.get("probe_nodes"),
+            trace=bool(config.get("trace")),
+            trace_sink=captured.append if captured is not None else None,
+            trace_categories=(
+                set(config["trace_categories"])
+                if config.get("trace_categories") is not None
+                else None
+            ),
+            trace_max_records=config.get("trace_max_records"),
+        )
+        session._captured_trace = captured
+        return session
+
+    def worker_payload(self) -> Dict[str, Any]:
+        """Everything this (single-trial) worker session observed.
+
+        Returned as plain picklable data; the parent session folds it in
+        with :meth:`absorb`.  Phase names are raw (``warmup`` etc.)
+        because a worker session only ever sees trial 0 — the parent
+        relabels them with the global trial index.
+        """
+        return {
+            "seed": self._seeds[-1] if self._seeds else None,
+            "spec": self._last_spec,
+            "topology": self._last_topology,
+            "counters": dict(self._last_counters),
+            "snapshots": list(self.trial_snapshots),
+            "phases": [
+                (p.name, p.wall_seconds, p.sim_seconds, p.events)
+                for p in self.phases
+            ],
+            "explorations": list(self.exploration_summaries),
+            "metrics": self.registry.records(),
+            "profile": (
+                self.profiler.records() if self.profiler is not None else []
+            ),
+            "probes": [
+                (list(p.node_samples), list(p.aggregates))
+                for p in self.probes
+            ],
+            "trace_records": self._captured_trace,
+        }
+
+    def absorb(self, payload: Dict[str, Any]) -> None:
+        """Fold one worker trial's payload into this (parent) session.
+
+        Called in seed order by the experiment layer, so trial indices,
+        gauge final values and trace replay order all match what the
+        inline serial path would have produced.
+        """
+        self._trial_index += 1
+        index = self._trial_index
+        seed = payload.get("seed")
+        if seed is not None:
+            self._seeds.append(seed)
+        if payload.get("spec") is not None:
+            self._last_spec = payload["spec"]
+        if payload.get("topology"):
+            self._last_topology = payload["topology"]
+        if payload.get("counters"):
+            self._last_counters = dict(payload["counters"])
+        for name, wall, sim_seconds, events in payload.get("phases", ()):
+            label = name if index <= 0 else f"{name}[{index}]"
+            self.phases.append(
+                PhaseTiming(label, wall, sim_seconds, events)
+            )
+        for snapshot in payload.get("snapshots", ()):
+            renumbered = dict(snapshot)
+            renumbered["trial"] = index
+            self.trial_snapshots.append(renumbered)
+        for exploration in payload.get("explorations", ()):
+            self.exploration_summaries.append(exploration)
+            self.last_exploration = exploration
+        self.registry.absorb_records(payload.get("metrics", ()))
+        if self.profiler is not None:
+            self.profiler.absorb_records(payload.get("profile", ()))
+        for node_samples, aggregates in payload.get("probes", ()):
+            self.probes.append(ProbeData(node_samples, aggregates))
+        if self.trace_sink is not None:
+            for record in payload.get("trace_records") or ():
+                self.trace_sink(record)
 
     # ------------------------------------------------------------------
     # Finalization + export

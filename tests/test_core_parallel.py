@@ -1,0 +1,201 @@
+"""Tests for parallel trial execution (repro.core.parallel).
+
+The headline property under test: ``jobs=N`` is bit-identical to
+``jobs=1`` on the same seeds, including everything an observability
+session records.
+"""
+
+import pytest
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import ExperimentSpec, run_trials
+from repro.core.parallel import (
+    SerialExecutor,
+    TrialExecutionError,
+    derive_trial_seeds,
+    get_default_jobs,
+    make_executor,
+    parallel_jobs,
+)
+from repro.core.sweep import failure_size_sweep
+from repro.obs.session import ObsSession
+from repro.topology.skewed import skewed_topology
+
+SEEDS = (1, 2, 3)
+
+
+def factory(seed):
+    return skewed_topology(24, seed=seed)
+
+
+def spec_05():
+    return ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+
+
+def result_signature(result):
+    """Every measured number, per trial (wall-clock fields excluded)."""
+    return [
+        (
+            t.seed,
+            t.convergence_delay,
+            t.messages_sent,
+            t.route_changes,
+            t.events_executed,
+        )
+        for t in result.trials
+    ]
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel == serial, bit for bit
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial_bitwise():
+    spec = spec_05()
+    serial = run_trials(factory, spec, SEEDS, jobs=1)
+    parallel = run_trials(factory, spec, SEEDS, jobs=4)
+    assert serial.mean_delay == parallel.mean_delay
+    assert serial.mean_messages == parallel.mean_messages
+    assert result_signature(serial) == result_signature(parallel)
+
+
+def test_serial_executor_matches_inline():
+    spec = spec_05()
+    inline = run_trials(factory, spec, SEEDS)
+    explicit = run_trials(factory, spec, SEEDS, executor=SerialExecutor())
+    assert result_signature(inline) == result_signature(explicit)
+
+
+def test_sweep_parallel_identical():
+    spec = spec_05()
+    serial = failure_size_sweep(factory, spec, (0.1, 0.2), (1, 2), jobs=1)
+    parallel = failure_size_sweep(factory, spec, (0.1, 0.2), (1, 2), jobs=2)
+    assert serial.delays == parallel.delays
+    assert serial.message_counts == parallel.message_counts
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def test_derive_trial_seeds_unique_and_deterministic():
+    seeds = derive_trial_seeds(42, 500)
+    assert len(seeds) == 500
+    assert len(set(seeds)) == 500
+    assert all(s >= 0 for s in seeds)
+    assert seeds == derive_trial_seeds(42, 500)
+    # A prefix is stable: asking for fewer seeds never reshuffles.
+    assert derive_trial_seeds(42, 10) == seeds[:10]
+
+
+def test_derive_trial_seeds_depend_on_master():
+    assert derive_trial_seeds(1, 20) != derive_trial_seeds(2, 20)
+    assert derive_trial_seeds(1, 5, name="a") != derive_trial_seeds(
+        1, 5, name="b"
+    )
+
+
+# ----------------------------------------------------------------------
+# Failure handling
+# ----------------------------------------------------------------------
+def test_worker_failure_surfaces():
+    # An impossibly small warm-up budget makes every trial raise inside
+    # the worker; the executor must surface which trial and why.
+    spec = spec_05().with_(max_warmup_time=1e-6)
+    with pytest.raises(TrialExecutionError) as exc_info:
+        run_trials(factory, spec, (7, 8), jobs=2)
+    assert "seed" in str(exc_info.value)
+    assert exc_info.value.seed in (7, 8)
+
+
+def test_serial_failure_surfaces_too():
+    spec = spec_05().with_(max_warmup_time=1e-6)
+    with pytest.raises(TrialExecutionError):
+        run_trials(factory, spec, (7,), executor=SerialExecutor())
+
+
+# ----------------------------------------------------------------------
+# Progress and jobs plumbing
+# ----------------------------------------------------------------------
+def test_progress_ticks_monotonic_and_complete():
+    ticks = []
+    run_trials(factory, spec_05(), SEEDS, progress=ticks.append, jobs=2)
+    dones = [t.done for t in ticks]
+    assert dones == sorted(dones)
+    assert dones[-1] == len(SEEDS)
+    assert all(t.total == len(SEEDS) for t in ticks)
+
+
+def test_parallel_jobs_context_scopes_default():
+    assert get_default_jobs() == 1
+    with parallel_jobs(3):
+        assert get_default_jobs() == 3
+    assert get_default_jobs() == 1
+
+
+def test_make_executor_backends():
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert make_executor(4).jobs == 4
+    with pytest.raises(ValueError):
+        make_executor(0)
+
+
+# ----------------------------------------------------------------------
+# Observability round-trip
+# ----------------------------------------------------------------------
+def observed_run(jobs):
+    records = []
+    obs = ObsSession(trace=True, profile=True, trace_sink=records.append)
+    result = run_trials(factory, spec_05(), SEEDS, obs=obs, jobs=jobs)
+    return obs, result, records
+
+
+def test_obs_aggregation_roundtrip():
+    serial_obs, serial_result, serial_trace = observed_run(1)
+    parallel_obs, parallel_result, parallel_trace = observed_run(2)
+
+    assert result_signature(serial_result) == result_signature(
+        parallel_result
+    )
+
+    # Trial snapshots: one per trial, in seed order.
+    assert len(parallel_obs.trial_snapshots) == len(SEEDS)
+    assert [s["seed"] for s in parallel_obs.trial_snapshots] == list(SEEDS)
+    assert [s["trial"] for s in parallel_obs.trial_snapshots] == [0, 1, 2]
+
+    # Phase timings: same labels in the same order (wall times differ).
+    assert [p.name for p in parallel_obs.phases] == [
+        p.name for p in serial_obs.phases
+    ]
+
+    # Path exploration is simulation state, so it matches exactly.
+    assert (
+        parallel_obs.exploration_summaries
+        == serial_obs.exploration_summaries
+    )
+    assert parallel_obs.last_exploration == serial_obs.last_exploration
+
+    # Metrics: counters and gauges are exact; histogram means can drift
+    # by float-summation order (serial folds observations one by one,
+    # parallel merges per-trial sums), so compare approximately.
+    serial_snap = serial_obs.registry.snapshot()
+    parallel_snap = parallel_obs.registry.snapshot()
+    assert sorted(serial_snap) == sorted(parallel_snap)
+    for name, value in serial_snap.items():
+        assert parallel_snap[name] == pytest.approx(value, rel=1e-9), name
+
+    # Profiler: identical event counts per run (wall time differs).
+    assert (
+        parallel_obs.profiler.total_events
+        == serial_obs.profiler.total_events
+    )
+
+    # Trace records survive the worker round-trip.
+    assert len(parallel_trace) == len(serial_trace)
+    assert [r.category for r in parallel_trace] == [
+        r.category for r in serial_trace
+    ]
+
+
+def test_unobserved_parallel_run_has_no_payload_cost():
+    # No session: workers must not build one either.
+    result = run_trials(factory, spec_05(), (1, 2), jobs=2)
+    assert len(result.trials) == 2

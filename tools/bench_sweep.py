@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Benchmark parallel trial execution on a Fig-1-style sweep.
+
+Runs the same failure-size sweep (constant MRAI, skewed topology) under
+each requested ``--jobs`` value, reports wall time, trials/sec, speedup
+over the serial baseline and aggregate events/sec, and asserts the swept
+series are bit-identical across backends — the determinism contract of
+:mod:`repro.core.parallel`.  Writes everything to ``BENCH_sweep.json`` so
+CI can archive the numbers commit over commit:
+
+    PYTHONPATH=src python tools/bench_sweep.py
+    PYTHONPATH=src python tools/bench_sweep.py --jobs 1 2 4 8 \\
+        --nodes 80 --out results/BENCH_sweep.json
+
+``--smoke`` shrinks everything for CI: a 30-node topology, one fraction,
+two seeds, jobs 1 and 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import Series, failure_size_sweep
+from repro.obs.manifest import host_fingerprint
+from repro.topology.skewed import skewed_topology
+
+
+def run_sweep(
+    nodes: int,
+    fractions: Sequence[float],
+    seeds: Sequence[int],
+    jobs: int,
+) -> Series:
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5))
+    return failure_size_sweep(
+        lambda seed: skewed_topology(nodes, seed=seed),
+        spec,
+        fractions,
+        seeds,
+        jobs=jobs,
+    )
+
+
+def series_signature(series: Series) -> List[Dict]:
+    """The numbers the identity assertion compares across backends."""
+    return [
+        {
+            "x": p.x,
+            "mean_delay": p.result.mean_delay,
+            "mean_messages": p.result.mean_messages,
+            "delays": [t.convergence_delay for t in p.result.trials],
+        }
+        for p in series.points
+    ]
+
+
+def total_events(series: Series) -> int:
+    return sum(
+        t.events_executed for p in series.points for t in p.result.trials
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=60)
+    parser.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.1, 0.2],
+        metavar="F",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3, 4], metavar="S"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="worker counts to benchmark (must include 1 for the baseline)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI configuration (30 nodes, one fraction, jobs 1 2)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_sweep.json",
+        help="where to write the JSON record (default: ./BENCH_sweep.json)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.nodes = 30
+        args.fractions = [0.1]
+        args.seeds = [1, 2]
+        args.jobs = [1, 2]
+    if 1 not in args.jobs:
+        args.jobs = [1] + args.jobs
+
+    trials = len(args.fractions) * len(args.seeds)
+    print(
+        f"bench: {args.nodes} nodes, fractions {args.fractions}, "
+        f"{len(args.seeds)} seeds ({trials} trials), jobs {args.jobs}"
+    )
+
+    rows: List[Dict] = []
+    baseline_wall = None
+    baseline_sig = None
+    identical = True
+    for jobs in args.jobs:
+        start = time.perf_counter()
+        series = run_sweep(args.nodes, args.fractions, args.seeds, jobs)
+        wall = time.perf_counter() - start
+        sig = series_signature(series)
+        events = total_events(series)
+        if jobs == 1 and baseline_sig is None:
+            baseline_wall = wall
+            baseline_sig = sig
+        speedup = baseline_wall / wall if baseline_wall else 0.0
+        matches = sig == baseline_sig
+        identical = identical and matches
+        row = {
+            "jobs": jobs,
+            "wall_seconds": round(wall, 4),
+            "trials_per_second": round(trials / wall, 3),
+            "speedup": round(speedup, 3),
+            "events_executed": events,
+            "events_per_second": round(events / max(wall, 1e-9)),
+            "identical_to_serial": matches,
+        }
+        rows.append(row)
+        flag = "" if matches else "  MISMATCH vs serial!"
+        print(
+            f"  jobs={jobs:<3d} wall {wall:7.2f} s  "
+            f"{row['trials_per_second']:6.2f} trials/s  "
+            f"speedup {speedup:5.2f}x  "
+            f"{row['events_per_second']:9,d} ev/s{flag}"
+        )
+
+    record = {
+        "kind": "BENCH_sweep",
+        "nodes": args.nodes,
+        "fractions": args.fractions,
+        "seeds": args.seeds,
+        "trials": trials,
+        "host": host_fingerprint(),
+        "identical_across_jobs": identical,
+        "series": baseline_sig,
+        "runs": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if not identical:
+        print("ERROR: parallel results differ from the serial baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
