@@ -4,14 +4,17 @@ Main subcommands::
 
     repro-bgp run   --nodes 120 --distribution 70-30 --mrai 0.5 \\
                     --failure 0.05 --scheme fifo --seed 1
-    repro-bgp sweep --figure fig3 --scale quick
+    repro-bgp sweep --figure fig3 --scale quick --store results/store.db
+    repro-bgp campaign run mycampaign.json --jobs 4
     repro-bgp trace analyze trace.jsonl
 
 ``run`` executes one convergence experiment and prints the measurements;
 ``sweep`` regenerates one of the paper's figures (same harness the
-benchmark suite uses) and prints its series table; ``trace analyze``
-post-processes a ``--trace-out`` JSONL trace into the causal-chain and
-path-exploration report.
+benchmark suite uses) and prints its series table — with ``--store`` the
+trials are cached content-addressed and never recomputed; ``campaign``
+runs/resumes/inspects/exports declarative sweep grids against a store
+(see docs/STORAGE.md); ``trace analyze`` post-processes a ``--trace-out``
+JSONL trace into the causal-chain and path-exploration report.
 """
 
 from __future__ import annotations
@@ -25,18 +28,14 @@ from repro.bgp.mrai import ConstantMRAI, MRAIPolicy
 from repro.core.degree_mrai import DegreeDependentMRAI
 from repro.core.dynamic_mrai import DynamicMRAI
 from repro.core.experiment import ExperimentSpec, run_experiment
-from repro.topology.degree import SkewedDegreeSpec
 from repro.topology.graph import Topology
 from repro.topology.internet import internet_like_topology
 from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
 from repro.topology.skewed import skewed_topology
 
-DISTRIBUTIONS = {
-    "70-30": SkewedDegreeSpec.paper_70_30,
-    "50-50": SkewedDegreeSpec.paper_50_50,
-    "85-15": SkewedDegreeSpec.paper_85_15,
-    "50-50-dense": SkewedDegreeSpec.paper_50_50_dense,
-}
+#: Named degree distributions; canonical table lives with the campaign
+#: definitions so CLI flags and campaign files accept the same names.
+from repro.store.campaign import DISTRIBUTIONS  # noqa: E402
 
 
 def build_topology(args: argparse.Namespace) -> Topology:
@@ -191,10 +190,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be a positive integer", file=sys.stderr)
         return 2
+    if args.resume and not args.store:
+        print("--resume requires --store PATH", file=sys.stderr)
+        return 2
     with contextlib.ExitStack() as stack:
         from repro.core.parallel import parallel_jobs
 
         stack.enter_context(parallel_jobs(args.jobs))
+        store = None
+        if args.store:
+            from pathlib import Path
+
+            from repro.store.result_store import use_store
+
+            if args.resume and not Path(args.store).exists():
+                print(
+                    f"--resume: store {args.store} does not exist "
+                    f"(nothing to resume; run without --resume first)",
+                    file=sys.stderr,
+                )
+                return 2
+            store = stack.enter_context(use_store(args.store))
         obs = _make_obs_session(args, stack)
         if obs is not None:
             from repro.obs.session import observe
@@ -214,6 +230,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
             for path in figure_to_files(output, args.export):
                 print(f"wrote {path}", file=sys.stderr)
+        if store is not None:
+            looked_up = store.hits + store.misses
+            rate = store.hits / looked_up if looked_up else 1.0
+            print(
+                f"store {args.store}: {store.hits} hits / "
+                f"{store.misses} misses ({rate:.0%} cached, "
+                f"{len(store)} trials banked)",
+                file=sys.stderr,
+            )
         _finish_obs(obs, args, command=f"sweep --figure {args.figure}")
     return 0
 
@@ -248,6 +273,147 @@ def cmd_trace_analyze(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _campaign_store_path(args: argparse.Namespace, campaign) -> Optional[str]:
+    """CLI --store overrides the campaign file's own store path."""
+    return args.store or campaign.store_path
+
+
+def _export_campaign_series(series, directory, name):
+    """Write <dir>/<name>.csv and .json; returns the paths."""
+    from pathlib import Path
+
+    from repro.analysis.export import save_series
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = [directory / f"{name}.csv", directory / f"{name}.json"]
+    for path in paths:
+        save_series(series, path)
+    return paths
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a campaign: execute missing trials, fold, report."""
+    from pathlib import Path
+
+    from repro.analysis.report import format_series_table
+    from repro.store.campaign import Campaign, CampaignError, run_campaign
+    from repro.store.result_store import ResultStore
+
+    campaign = Campaign.from_file(args.file)
+    store_path = _campaign_store_path(args, campaign)
+    if store_path is None:
+        print(
+            "no store: pass --store PATH or set 'store' in the campaign "
+            "file",
+            file=sys.stderr,
+        )
+        return 2
+    resuming = args.campaign_command == "resume"
+    if resuming and not Path(store_path).exists():
+        print(
+            f"resume: store {store_path} does not exist (nothing to "
+            f"resume; use `campaign run` first)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be a positive integer", file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        obs = _make_obs_session(args, stack)
+        store = stack.enter_context(ResultStore(store_path))
+        try:
+            result = run_campaign(
+                campaign, store, jobs=args.jobs, obs=obs
+            )
+        except CampaignError as exc:
+            print(f"campaign failed: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print(
+                f"interrupted — {len(store)} trial(s) already stored in "
+                f"{store_path}; continue with `campaign resume {args.file}`",
+                file=sys.stderr,
+            )
+            return 130
+        print(result.summary())
+        for metric in ("delay", "messages"):
+            unit = (
+                "convergence delay (s)"
+                if metric == "delay"
+                else "update messages"
+            )
+            print()
+            print(
+                format_series_table(
+                    result.series, metric, title=f"[{unit}]"
+                )
+            )
+        if args.export:
+            for path in _export_campaign_series(
+                result.series, args.export, campaign.name
+            ):
+                print(f"wrote {path}", file=sys.stderr)
+        if obs is not None:
+            obs.finalize(
+                kind="repro-campaign",
+                command=f"campaign {args.campaign_command} {args.file}",
+                extra={"campaign": campaign.name, "store": store_path},
+            )
+        _finish_obs(obs, args, command=f"campaign run {args.file}")
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Report grid completeness and recorded campaign runs."""
+    from pathlib import Path
+
+    from repro.store.campaign import Campaign, campaign_status
+    from repro.store.result_store import ResultStore
+
+    campaign = Campaign.from_file(args.file)
+    store_path = _campaign_store_path(args, campaign)
+    if store_path is None:
+        print("no store: pass --store PATH or set 'store'", file=sys.stderr)
+        return 2
+    if not Path(store_path).exists():
+        print(
+            f"campaign {campaign.name}: 0/{campaign.total_trials} trials "
+            f"cached (store {store_path} does not exist yet)"
+        )
+        return 1 if args.check else 0
+    with ResultStore(store_path) as store:
+        status = campaign_status(campaign, store)
+        print(status.render())
+    return 0 if status.complete or not args.check else 1
+
+
+def cmd_campaign_export(args: argparse.Namespace) -> int:
+    """Fold a fully-cached campaign from its store; no simulation."""
+    from repro.store.campaign import (
+        Campaign,
+        CampaignError,
+        load_campaign_results,
+    )
+    from repro.store.result_store import ResultStore
+
+    campaign = Campaign.from_file(args.file)
+    store_path = _campaign_store_path(args, campaign)
+    if store_path is None:
+        print("no store: pass --store PATH or set 'store'", file=sys.stderr)
+        return 2
+    with ResultStore(store_path) as store:
+        try:
+            series, _results = load_campaign_results(campaign, store)
+        except CampaignError as exc:
+            print(f"cannot export: {exc}", file=sys.stderr)
+            return 1
+    for path in _export_campaign_series(series, args.out, campaign.name):
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -369,8 +535,88 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write CSV/JSON/text exports into DIR",
     )
+    sweep_p.add_argument(
+        "--store",
+        metavar="PATH",
+        help=(
+            "content-addressed trial cache (SQLite): stored trials are "
+            "folded without re-running, fresh trials are written back"
+        ),
+    )
+    sweep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "require --store to already exist (resuming an interrupted "
+            "sweep); behavior is otherwise identical — caching is always "
+            "incremental"
+        ),
+    )
     add_obs_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="persistent, resumable experiment campaigns over a store",
+    )
+    campaign_sub = campaign_p.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def add_campaign_common(parser_):
+        parser_.add_argument(
+            "file", help="campaign definition JSON (see docs/STORAGE.md)"
+        )
+        parser_.add_argument(
+            "--store",
+            metavar="PATH",
+            help="override the campaign file's store path",
+        )
+
+    for name, help_text in (
+        ("run", "execute every trial not already in the store"),
+        ("resume", "like run, but requires the store to already exist"),
+    ):
+        runner_p = campaign_sub.add_parser(name, help=help_text)
+        add_campaign_common(runner_p)
+        runner_p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for missing trials (default 1)",
+        )
+        runner_p.add_argument(
+            "--export",
+            metavar="DIR",
+            help="also write the folded series as CSV/JSON into DIR",
+        )
+        add_obs_args(runner_p)
+        runner_p.set_defaults(func=cmd_campaign_run)
+
+    status_p = campaign_sub.add_parser(
+        "status", help="grid completeness + recorded runs"
+    )
+    add_campaign_common(status_p)
+    status_p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every trial is cached",
+    )
+    status_p.set_defaults(func=cmd_campaign_status)
+
+    export_p = campaign_sub.add_parser(
+        "export",
+        help="fold a fully-cached campaign from the store (no simulation)",
+    )
+    add_campaign_common(export_p)
+    export_p.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="directory for <name>.csv and <name>.json",
+    )
+    export_p.set_defaults(func=cmd_campaign_export)
 
     list_p = sub.add_parser(
         "list", help="list reproducible figures and ablations"

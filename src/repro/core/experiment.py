@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     List,
@@ -34,6 +35,7 @@ from repro.obs.session import ObsSession, active_session
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.parallel import TrialExecutor
+    from repro.store.result_store import ResultStore
 
 from repro.bgp.config import DEFAULT_PROCESSING_RANGE, BGPConfig
 from repro.bgp.damping import DampingConfig
@@ -412,6 +414,7 @@ def run_trials(
     obs: Optional[ObsSession] = None,
     jobs: Optional[int] = None,
     executor: Optional["TrialExecutor"] = None,
+    store: Optional["ResultStore"] = None,
 ) -> ExperimentResult:
     """Run one trial per seed, each on its own topology instance.
 
@@ -431,22 +434,36 @@ def run_trials(
     the same seeds.  Observed runs ship each worker's metrics, phase
     timings, probe samples and trace records back to ``obs`` (or the
     active session) for aggregation.
+
+    ``store`` (or the process-wide default installed by
+    :func:`repro.store.result_store.use_store`) enables content-addressed
+    trial caching: each trial's key is derived from (spec, built
+    topology, seed) via :func:`repro.store.hashing.spec_hash`; stored
+    trials are folded without re-running, fresh trials are written back —
+    always from this (parent) process — so an interrupted sweep resumes
+    where it stopped.  Cached and cold runs compare equal
+    (:class:`TrialResult` equality excludes wall-clock fields), and cached
+    trials contribute measurements but no new obs samples.
     """
     from repro.core.parallel import get_default_jobs, make_executor
 
     if obs is None:
         obs = active_session()
+    if store is None:
+        from repro.store.result_store import default_store
+
+        store = default_store()
     if executor is None:
         resolved_jobs = jobs if jobs is not None else get_default_jobs()
         if resolved_jobs <= 1:
             # Inline serial fast path: no task/payload round-trip, the
             # parent session observes every trial directly.
             return _run_trials_inline(
-                topology_factory, spec, seeds, progress, obs
+                topology_factory, spec, seeds, progress, obs, store
             )
         executor = make_executor(resolved_jobs)
     return _run_trials_executor(
-        topology_factory, spec, seeds, progress, obs, executor
+        topology_factory, spec, seeds, progress, obs, executor, store
     )
 
 
@@ -456,13 +473,31 @@ def _run_trials_inline(
     seeds: Sequence[int],
     progress: Optional[ProgressFn],
     obs: Optional[ObsSession],
+    store: Optional["ResultStore"] = None,
 ) -> ExperimentResult:
+    if store is not None:
+        from repro.store.hashing import spec_fingerprint, spec_hash
+
     result = ExperimentResult(spec=spec)
     start = time.perf_counter()
     total = len(seeds)
     for done, seed in enumerate(seeds, start=1):
         topology = topology_factory(seed)
-        result.add(run_experiment(topology, spec, seed=seed, obs=obs))
+        trial = None
+        if store is not None:
+            key = spec_hash(spec, topology, seed)
+            trial = store.get(key)
+            if obs is not None:
+                obs.note_cache(trial is not None)
+        if trial is None:
+            trial = run_experiment(topology, spec, seed=seed, obs=obs)
+            if store is not None:
+                store.put(
+                    key,
+                    trial,
+                    fingerprint=spec_fingerprint(spec, topology, seed),
+                )
+        result.add(trial)
         if progress is not None:
             progress(
                 Progress(
@@ -482,28 +517,65 @@ def _run_trials_executor(
     progress: Optional[ProgressFn],
     obs: Optional[ObsSession],
     executor: "TrialExecutor",
+    store: Optional["ResultStore"] = None,
 ) -> ExperimentResult:
     from repro.core.parallel import TrialTask
 
+    if store is not None:
+        from repro.store.hashing import spec_fingerprint, spec_hash
+
     obs_config = obs.worker_args() if obs is not None else None
-    tasks = [
-        TrialTask(
-            index=index,
-            topology=topology_factory(seed),
-            spec=spec,
-            seed=seed,
-            obs_config=obs_config,
-        )
-        for index, seed in enumerate(seeds)
-    ]
     start = time.perf_counter()
-    total = len(tasks)
-    done_count = 0
+    total = len(seeds)
+    # One slot per seed; cached trials fill theirs before execution.
+    trials: List[Optional[TrialResult]] = [None] * total
+    payloads: List[Optional[Dict[str, Any]]] = [None] * total
+    keys: List[Optional[str]] = [None] * total
+    fingerprints: Dict[int, Dict[str, Any]] = {}
+    tasks = []
+    for index, seed in enumerate(seeds):
+        topology = topology_factory(seed)
+        if store is not None:
+            key = spec_hash(spec, topology, seed)
+            keys[index] = key
+            cached = store.get(key)
+            if obs is not None:
+                obs.note_cache(cached is not None)
+            if cached is not None:
+                trials[index] = cached
+                continue
+            fingerprints[index] = spec_fingerprint(spec, topology, seed)
+        tasks.append(
+            TrialTask(
+                index=index,
+                topology=topology,
+                spec=spec,
+                seed=seed,
+                obs_config=obs_config,
+            )
+        )
+    done_count = total - len(tasks)
+    if progress is not None and done_count:
+        progress(
+            Progress(
+                done=done_count,
+                total=total,
+                elapsed=time.perf_counter() - start,
+                label=spec.mrai.name,
+            )
+        )
 
     def on_done(outcome) -> None:
         # Completion ticks arrive in completion order (not seed order);
-        # the count is monotonic regardless.
+        # the count is monotonic regardless.  Store writes happen here —
+        # in the parent, as trials land — so an interrupt loses only the
+        # trials still in flight.
         nonlocal done_count
+        index, trial, _payload = outcome
+        if store is not None:
+            store.put(
+                keys[index], trial, fingerprint=fingerprints.get(index)
+            )
         done_count += 1
         if progress is not None:
             progress(
@@ -515,12 +587,16 @@ def _run_trials_executor(
                 )
             )
 
-    outcomes = executor.run(tasks, on_done)
+    outcomes = executor.run(tasks, on_done) if tasks else []
+    for index, trial, payload in outcomes:
+        trials[index] = trial
+        payloads[index] = payload
     # Fold in submission (seed) order: the accumulators then see the
     # exact sequence the serial path streams, bit for bit.
     result = ExperimentResult(spec=spec)
-    for __, trial, payload in outcomes:
+    for index, trial in enumerate(trials):
+        assert trial is not None
         result.add(trial)
-        if obs is not None and payload is not None:
-            obs.absorb(payload)
+        if obs is not None and payloads[index] is not None:
+            obs.absorb(payloads[index])
     return result

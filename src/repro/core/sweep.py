@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.bgp.mrai import ConstantMRAI
 from repro.core.experiment import (
@@ -23,6 +23,9 @@ from repro.core.experiment import (
     run_trials,
 )
 from repro.topology.graph import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.result_store import ResultStore
 
 
 def _sweep_reporter(
@@ -125,13 +128,16 @@ def failure_size_sweep(
     label: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> Series:
     """Sweep the failure size, holding the scheme fixed (Figs 1/2/6-11).
 
     ``progress`` receives one :class:`Progress` tick per completed trial,
     with totals and ETA covering the whole sweep.  ``jobs`` selects the
     trial-execution backend (see :func:`repro.core.experiment.run_trials`);
-    results are bit-identical across ``jobs`` values.
+    results are bit-identical across ``jobs`` values.  ``store`` enables
+    content-addressed trial caching: already-stored points are folded
+    without re-running (see :mod:`repro.store`).
     """
     series = Series(
         label=label or spec.mrai.name, x_name="failure_fraction"
@@ -146,6 +152,7 @@ def failure_size_sweep(
             seeds,
             progress=tick,
             jobs=jobs,
+            store=store,
         )
         series.add(fraction, result)
     return series
@@ -159,6 +166,7 @@ def mrai_sweep(
     label: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> Series:
     """Sweep a constant MRAI, holding the failure fixed (Figs 3/4/5/12)."""
     series = Series(label=label or "delay-vs-mrai", x_name="mrai")
@@ -172,6 +180,7 @@ def mrai_sweep(
             seeds,
             progress=tick,
             jobs=jobs,
+            store=store,
         )
         series.add(value, result)
     return series
@@ -184,6 +193,7 @@ def scheme_comparison(
     seeds: Sequence[int],
     progress: Optional[ProgressFn] = None,
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[Series]:
     """Several schemes swept over failure sizes (Figs 6/7/10/13).
 
@@ -203,6 +213,7 @@ def scheme_comparison(
                 seeds,
                 progress=tick,
                 jobs=jobs,
+                store=store,
             )
             series.add(fraction, result)
         out.append(series)

@@ -34,6 +34,10 @@ class FailureScenario:
         return len(self.nodes)
 
     def fraction_of(self, topology: Topology) -> float:
+        if topology.num_routers == 0:
+            raise ValueError(
+                "cannot compute a failure fraction of an empty topology"
+            )
         return self.size / topology.num_routers
 
 
@@ -52,6 +56,10 @@ def geographic_failure(
     """
     if not (0.0 < fraction <= 1.0):
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if topology.num_routers == 0:
+        raise ValueError(
+            "cannot derive a geographic failure from an empty topology"
+        )
     if center is None:
         center = (GRID_SIZE / 2.0, GRID_SIZE / 2.0)
     count = max(1, round(topology.num_routers * fraction))
@@ -76,7 +84,16 @@ def random_failure(
     """Fail a uniformly random ``fraction`` of routers (scattered failure)."""
     if not (0.0 < fraction <= 1.0):
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if topology.num_routers == 0:
+        raise ValueError(
+            "cannot derive a random failure from an empty topology"
+        )
     count = max(1, round(topology.num_routers * fraction))
+    if count > topology.num_routers:
+        raise ValueError(
+            f"cannot fail {count} routers: topology only has "
+            f"{topology.num_routers}"
+        )
     victims = frozenset(rng.sample(topology.node_ids(), count))
     return FailureScenario(
         nodes=victims,

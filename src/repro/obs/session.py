@@ -136,6 +136,13 @@ class ObsSession:
         self.trial_snapshots: List[Dict[str, Any]] = []
         self.manifest: Optional[RunManifest] = None
         self._trial_index = -1
+        #: Trial-cache outcomes observed via :meth:`note_cache` (also
+        #: mirrored into the registry as ``store_cache_hits`` /
+        #: ``store_cache_misses`` counters).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Manifests of campaigns run under this session (name, payload).
+        self.campaigns: List[Dict[str, Any]] = []
         self._last_spec: Any = None
         self._seeds: List[int] = []
         self._last_topology: str = ""
@@ -249,6 +256,19 @@ class ObsSession:
             self._tracer.clear()
             self._tracer = None
         self.trial_snapshots.append(snapshot)
+
+    def note_cache(self, hit: bool) -> None:
+        """Record one trial-cache lookup outcome (store-backed runs)."""
+        if hit:
+            self.cache_hits += 1
+            self.registry.counter("store_cache_hits").inc()
+        else:
+            self.cache_misses += 1
+            self.registry.counter("store_cache_misses").inc()
+
+    def note_campaign(self, name: str, manifest: Dict[str, Any]) -> None:
+        """Attach one campaign run's manifest to this session."""
+        self.campaigns.append({"name": name, "manifest": manifest})
 
     # ------------------------------------------------------------------
     # Worker round-trip (parallel trial execution)
@@ -404,6 +424,13 @@ class ObsSession:
             manifest.extra.setdefault(
                 "exploration", self.exploration_aggregate()
             )
+        if self.cache_hits or self.cache_misses:
+            manifest.extra.setdefault(
+                "store_cache",
+                {"hits": self.cache_hits, "misses": self.cache_misses},
+            )
+        if self.campaigns:
+            manifest.extra.setdefault("campaigns", jsonable(self.campaigns))
         self.manifest = manifest
         return manifest
 

@@ -1,0 +1,68 @@
+"""Persistent experiment store: content-addressed trial caching + campaigns.
+
+The biggest speedup available to a sweep that has already run is not
+running it again.  This package provides:
+
+* :mod:`repro.store.hashing` — :func:`spec_hash`, the stable keyed-BLAKE2b
+  content address of one trial's inputs (spec, built topology, seed,
+  schema version);
+* :mod:`repro.store.result_store` — :class:`ResultStore`, an SQLite (WAL)
+  trial cache with provenance, plus :func:`use_store` for scoping a
+  process-wide default the way ``parallel_jobs`` scopes ``--jobs``;
+* :mod:`repro.store.campaign` — :class:`Campaign`, a declarative sweep
+  grid that runs incrementally against a store: cached trials are
+  skipped, failures retried, interruptions resumed, and the folded
+  series equal an uncached run's.
+"""
+
+from repro.store.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    CampaignStatus,
+    CampaignTask,
+    RetryPolicy,
+    build_spec,
+    campaign_status,
+    load_campaign_results,
+    run_campaign,
+)
+from repro.store.hashing import (
+    SCHEMA_VERSION,
+    canonical,
+    spec_fingerprint,
+    spec_hash,
+    topology_digest,
+)
+from repro.store.result_store import (
+    ResultStore,
+    default_store,
+    git_revision,
+    trial_from_dict,
+    trial_to_dict,
+    use_store,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignStatus",
+    "CampaignTask",
+    "ResultStore",
+    "RetryPolicy",
+    "SCHEMA_VERSION",
+    "build_spec",
+    "campaign_status",
+    "canonical",
+    "default_store",
+    "git_revision",
+    "load_campaign_results",
+    "run_campaign",
+    "spec_fingerprint",
+    "spec_hash",
+    "topology_digest",
+    "trial_from_dict",
+    "trial_to_dict",
+    "use_store",
+]

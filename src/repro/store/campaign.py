@@ -1,0 +1,729 @@
+"""Resumable experiment campaigns: a declarative sweep grid over a store.
+
+A :class:`Campaign` is the *whole sweep as data*: topology parameters,
+one :class:`~repro.core.experiment.ExperimentSpec` per scheme, a swept
+axis (failure fraction or constant MRAI), and the trial seeds.  It
+expands to a flat list of trial tasks, each content-addressed via
+:func:`repro.store.hashing.spec_hash`, which buys three things at once:
+
+* **Caching** — a task whose key is already in the store never runs;
+* **Resume** — a crashed or Ctrl-C'd campaign re-run executes only the
+  missing trials (every completed trial was committed as it finished);
+* **Retry** — a trial that dies in a worker (OOM-killed process, flaky
+  host) is retried with a bounded :class:`RetryPolicy` instead of
+  aborting hundreds of sibling trials.
+
+Folding is identical to an uncached sweep: trials enter each point's
+:class:`~repro.core.experiment.ExperimentResult` in seed order, whether
+they came from the store or from a worker, so the resulting series
+compare equal (``TrialResult`` equality — wall-clock fields excluded) to
+a cold run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.degree_mrai import DegreeDependentMRAI
+from repro.core.dynamic_mrai import DynamicMRAI
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    Progress,
+    ProgressFn,
+    TrialResult,
+)
+from repro.core.parallel import (
+    TrialTask,
+    derive_trial_seeds,
+    execute_trial,
+    get_default_jobs,
+)
+from repro.core.sweep import Series
+from repro.obs.session import ObsSession, active_session
+from repro.store.hashing import spec_fingerprint, spec_hash
+from repro.store.result_store import ResultStore, git_revision
+from repro.topology.degree import SkewedDegreeSpec
+from repro.topology.graph import Topology
+from repro.topology.internet import internet_like_topology
+from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
+from repro.topology.skewed import skewed_topology
+
+#: Named degree distributions usable in campaign topology blocks (the
+#: same table the CLI's ``--distribution`` flag exposes).
+DISTRIBUTIONS: Dict[str, Callable[[], SkewedDegreeSpec]] = {
+    "70-30": SkewedDegreeSpec.paper_70_30,
+    "50-50": SkewedDegreeSpec.paper_50_50,
+    "85-15": SkewedDegreeSpec.paper_85_15,
+    "50-50-dense": SkewedDegreeSpec.paper_50_50_dense,
+}
+
+#: Axes a campaign can sweep, mapped to how a point spec is derived.
+AXES = ("failure_fraction", "mrai")
+
+#: Scheme-dict keys understood by :func:`build_spec`.
+_SCHEME_KEYS = frozenset(
+    {
+        "mrai_scheme",
+        "mrai",
+        "mrai_low",
+        "mrai_high",
+        "degree_threshold",
+        "levels",
+        "up_th",
+        "down_th",
+        "monitor",
+        "queue",
+        "tcp_batch_size",
+        "failure_kind",
+        "failure_fraction",
+        "detection_delay",
+        "detection_jitter",
+        "withdrawal_rate_limiting",
+        "sender_side_loop_detection",
+        "per_destination_mrai",
+    }
+)
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not complete; carries the per-task failures."""
+
+    def __init__(
+        self, message: str, failures: Sequence[Tuple["CampaignTask", str]]
+    ) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-trial retry for worker-side failures.
+
+    ``max_attempts`` counts the first try: 3 means one run plus at most
+    two retries.  Retries re-run the identical deterministic task, so
+    they only help against *environmental* failures (killed workers,
+    transient OS errors) — a task that fails deterministically exhausts
+    its attempts and surfaces as :class:`CampaignError`.
+    """
+
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One expanded (scheme, axis value, seed) trial of a campaign."""
+
+    ordinal: int
+    label: str
+    x: float
+    seed: int
+    spec: ExperimentSpec
+
+
+def build_spec(scheme: Dict[str, Any]) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` from a declarative scheme dictionary.
+
+    Supported keys: ``mrai_scheme`` (``constant``/``degree``/``dynamic``,
+    default constant) with its parameters (``mrai``, ``mrai_low``/
+    ``mrai_high``/``degree_threshold``, ``levels``/``up_th``/``down_th``/
+    ``monitor``), plus ``queue``, ``tcp_batch_size``, ``failure_kind``,
+    ``failure_fraction``, ``detection_delay``/``detection_jitter`` and
+    the boolean toggles.  Unknown keys are an error — typos must not
+    silently produce a differently-hashed spec.
+    """
+    unknown = set(scheme) - _SCHEME_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown scheme keys {sorted(unknown)}; "
+            f"known: {sorted(_SCHEME_KEYS)}"
+        )
+    kind = scheme.get("mrai_scheme", "constant")
+    if kind == "constant":
+        mrai = ConstantMRAI(float(scheme.get("mrai", 0.5)))
+    elif kind == "degree":
+        mrai = DegreeDependentMRAI(
+            float(scheme.get("mrai_low", 0.5)),
+            float(scheme.get("mrai_high", 2.25)),
+            degree_threshold=int(scheme.get("degree_threshold", 4)),
+        )
+    elif kind == "dynamic":
+        kwargs: Dict[str, Any] = {}
+        if "levels" in scheme:
+            kwargs["levels"] = tuple(float(v) for v in scheme["levels"])
+        if "up_th" in scheme:
+            kwargs["up_th"] = float(scheme["up_th"])
+        if "down_th" in scheme:
+            kwargs["down_th"] = float(scheme["down_th"])
+        if "monitor" in scheme:
+            kwargs["monitor"] = str(scheme["monitor"])
+        mrai = DynamicMRAI(**kwargs)
+    else:
+        raise ValueError(f"unknown mrai_scheme {kind!r}")
+    spec_kwargs: Dict[str, Any] = {"mrai": mrai}
+    if "queue" in scheme:
+        spec_kwargs["queue_discipline"] = str(scheme["queue"])
+    for key, cast in (
+        ("tcp_batch_size", int),
+        ("failure_kind", str),
+        ("failure_fraction", float),
+        ("detection_delay", float),
+        ("detection_jitter", float),
+        ("withdrawal_rate_limiting", bool),
+        ("sender_side_loop_detection", bool),
+        ("per_destination_mrai", bool),
+    ):
+        if key in scheme:
+            spec_kwargs[key] = cast(scheme[key])
+    return ExperimentSpec(**spec_kwargs)
+
+
+@dataclass
+class Campaign:
+    """A declarative, store-backed sweep grid.
+
+    ``topology`` is a parameter block (``kind`` + size knobs), not a
+    factory, so campaigns round-trip through JSON and mean the same
+    thing on every host.  ``axis`` selects what varies per point:
+    ``failure_fraction`` replaces the spec's failure size,
+    ``mrai`` replaces the spec's policy with ``ConstantMRAI(x)``.
+    """
+
+    name: str
+    topology: Dict[str, Any]
+    schemes: Dict[str, Dict[str, Any]]
+    axis: str
+    values: List[float]
+    seeds: List[int]
+    store_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.axis not in AXES:
+            raise ValueError(
+                f"unknown axis {self.axis!r}; choose from {AXES}"
+            )
+        if not self.schemes:
+            raise ValueError("a campaign needs at least one scheme")
+        if not self.values:
+            raise ValueError("a campaign needs at least one axis value")
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+
+    # ------------------------------------------------------------------
+    # Declarative round-trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Campaign":
+        seeds = data.get("seeds")
+        if isinstance(seeds, dict):
+            seeds = derive_trial_seeds(
+                int(seeds.get("master", 0)), int(seeds["count"])
+            )
+        elif seeds is not None:
+            seeds = [int(s) for s in seeds]
+        else:
+            raise ValueError(
+                "campaign needs 'seeds': a list or {'master': M, 'count': N}"
+            )
+        axis = data.get("axis", {})
+        if not isinstance(axis, dict) or "name" not in axis:
+            raise ValueError(
+                "campaign needs 'axis': {'name': ..., 'values': [...]}"
+            )
+        return cls(
+            name=str(data.get("name", "campaign")),
+            topology=dict(data.get("topology", {"kind": "skewed"})),
+            schemes={
+                str(k): dict(v) for k, v in data.get("schemes", {}).items()
+            },
+            axis=str(axis["name"]),
+            values=[float(v) for v in axis["values"]],
+            seeds=seeds,
+            store_path=data.get("store"),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Campaign":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "topology": dict(self.topology),
+            "schemes": {k: dict(v) for k, v in self.schemes.items()},
+            "axis": {"name": self.axis, "values": list(self.values)},
+            "seeds": list(self.seeds),
+        }
+        if self.store_path is not None:
+            data["store"] = self.store_path
+        return data
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def topology_factory(self) -> Callable[[int], Topology]:
+        """Per-seed topology builder from the parameter block."""
+        kind = self.topology.get("kind", "skewed")
+        nodes = int(self.topology.get("nodes", 60))
+        if kind == "skewed":
+            dist_name = self.topology.get("distribution", "70-30")
+            if dist_name not in DISTRIBUTIONS:
+                raise ValueError(
+                    f"unknown distribution {dist_name!r}; "
+                    f"choose from {sorted(DISTRIBUTIONS)}"
+                )
+            dist = DISTRIBUTIONS[dist_name]()
+            return lambda seed: skewed_topology(nodes, dist, seed=seed)
+        if kind == "internet":
+            return lambda seed: internet_like_topology(nodes, seed=seed)
+        if kind == "multirouter":
+            spec = MultiRouterSpec(num_ases=nodes)
+            return lambda seed: multi_router_topology(spec, seed=seed)
+        raise ValueError(f"unknown topology kind {kind!r}")
+
+    def base_spec(self, label: str) -> ExperimentSpec:
+        return build_spec(self.schemes[label])
+
+    def point_spec(self, label: str, x: float) -> ExperimentSpec:
+        spec = self.base_spec(label)
+        if self.axis == "failure_fraction":
+            return spec.with_(failure_fraction=x)
+        return spec.with_(mrai=ConstantMRAI(x))
+
+    def tasks(self) -> List[CampaignTask]:
+        """The flat trial grid, in (scheme, axis value, seed) order —
+        the fold order an uncached nested sweep would use."""
+        out: List[CampaignTask] = []
+        ordinal = 0
+        for label in self.schemes:
+            for x in self.values:
+                spec = self.point_spec(label, x)
+                for seed in self.seeds:
+                    out.append(
+                        CampaignTask(
+                            ordinal=ordinal,
+                            label=label,
+                            x=x,
+                            seed=seed,
+                            spec=spec,
+                        )
+                    )
+                    ordinal += 1
+        return out
+
+    @property
+    def total_trials(self) -> int:
+        return len(self.schemes) * len(self.values) * len(self.seeds)
+
+
+# ---------------------------------------------------------------------------
+# Status
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PointStatus:
+    label: str
+    x: float
+    done: int
+    total: int
+
+
+@dataclass
+class CampaignStatus:
+    """How much of a campaign's grid is already banked in a store."""
+
+    name: str
+    total: int
+    cached: int
+    points: List[PointStatus] = field(default_factory=list)
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.cached
+
+    @property
+    def complete(self) -> bool:
+        return self.cached == self.total
+
+    def render(self) -> str:
+        lines = [
+            f"campaign {self.name}: {self.cached}/{self.total} trials "
+            f"cached ({self.missing} missing)"
+        ]
+        for p in self.points:
+            mark = "done" if p.done == p.total else f"{p.done}/{p.total}"
+            lines.append(f"  {p.label:24s} x={p.x:<10g} {mark}")
+        for run in self.history:
+            manifest = run["manifest"]
+            lines.append(
+                f"  run {run['created_utc']} "
+                f"(rev {str(run['git_rev'])[:12]}): "
+                f"{manifest.get('executed', '?')} executed, "
+                f"{manifest.get('cache_hits', '?')} cached"
+            )
+        return "\n".join(lines)
+
+
+def _campaign_keys(
+    campaign: Campaign,
+) -> List[Tuple[CampaignTask, str, Topology]]:
+    """Expand + content-address the grid (topologies built once per seed)."""
+    factory = campaign.topology_factory()
+    topologies = {seed: factory(seed) for seed in campaign.seeds}
+    return [
+        (task, spec_hash(task.spec, topologies[task.seed], task.seed),
+         topologies[task.seed])
+        for task in campaign.tasks()
+    ]
+
+
+def campaign_status(
+    campaign: Campaign, store: ResultStore
+) -> CampaignStatus:
+    """Grid completeness against a store (read-only: no hit counters)."""
+    per_point: Dict[Tuple[str, float], List[int]] = {}
+    cached = 0
+    for task, key, _topology in _campaign_keys(campaign):
+        done_total = per_point.setdefault((task.label, task.x), [0, 0])
+        done_total[1] += 1
+        if store.has(key):
+            done_total[0] += 1
+            cached += 1
+    return CampaignStatus(
+        name=campaign.name,
+        total=campaign.total_trials,
+        cached=cached,
+        points=[
+            PointStatus(label, x, done, total)
+            for (label, x), (done, total) in per_point.items()
+        ],
+        history=list(store.iter_campaigns(campaign.name)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+def _guarded_execute(
+    task: TrialTask,
+) -> Tuple[int, Optional[TrialResult], Optional[Dict[str, Any]], Optional[str]]:
+    """Worker entry point that reports failures instead of raising.
+
+    The campaign runner retries individual trials, so one dead trial
+    must not poison the pool the way
+    :class:`~repro.core.parallel.ProcessExecutor`'s fail-fast does.
+    """
+    try:
+        index, trial, payload = execute_trial(task)
+        return index, trial, payload, None
+    except Exception as exc:  # noqa: BLE001 - reported to the retry loop
+        return task.index, None, None, f"{type(exc).__name__}: {exc}"
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced (cached + fresh, folded)."""
+
+    campaign: Campaign
+    series: List[Series]
+    results: Dict[Tuple[str, float], ExperimentResult]
+    cache_hits: int
+    cache_misses: int
+    executed: int
+    retried: int
+    failed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.campaign.name}: "
+            f"{self.cache_hits + self.cache_misses} trials — "
+            f"{self.cache_hits} cached ({self.cache_hit_rate:.0%}), "
+            f"{self.executed} executed"
+            + (f", {self.retried} retried" if self.retried else "")
+            + f" in {self.wall_seconds:.1f}s"
+        )
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: Optional[ResultStore] = None,
+    *,
+    jobs: Optional[int] = None,
+    retry: RetryPolicy = RetryPolicy(),
+    progress: Optional[ProgressFn] = None,
+    obs: Optional[ObsSession] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign against its store.
+
+    Already-stored trials are skipped; missing trials run — over a
+    process pool when ``jobs > 1`` — and are committed to the store from
+    the parent as each completes, so interrupting at any point loses at
+    most the trials currently in flight.  Worker failures are retried up
+    to ``retry.max_attempts`` times each; trials that exhaust their
+    attempts raise :class:`CampaignError` (the completed ones are
+    already stored, so the re-run is incremental).
+
+    Every trial enters its point's :class:`ExperimentResult` in seed
+    order, cached and fresh alike — the folded series equal an uncached
+    sweep's.  The run is recorded as a manifest row in the store, and
+    ``obs`` (or the active session) gets cache hit/miss counters.
+    """
+    own_store = store is None
+    if own_store:
+        if campaign.store_path is None:
+            raise ValueError(
+                "campaign has no store path; pass store= or set 'store' "
+                "in the campaign definition"
+            )
+        store = ResultStore(campaign.store_path)
+    assert store is not None
+    if obs is None:
+        obs = active_session()
+    if jobs is None:
+        jobs = get_default_jobs()
+    start = time.perf_counter()
+    try:
+        keyed = _campaign_keys(campaign)
+        total = len(keyed)
+        results: Dict[int, TrialResult] = {}
+        key_by_ordinal: Dict[int, str] = {}
+        fingerprints: Dict[int, Dict[str, Any]] = {}
+        pending: List[Tuple[CampaignTask, str, Topology]] = []
+        for task, key, topology in keyed:
+            key_by_ordinal[task.ordinal] = key
+            cached = store.get(key)
+            if cached is not None:
+                results[task.ordinal] = cached
+                if obs is not None:
+                    obs.note_cache(True)
+            else:
+                fingerprints[task.ordinal] = spec_fingerprint(
+                    task.spec, topology, task.seed
+                )
+                pending.append((task, key, topology))
+        hits = len(results)
+        done_count = hits
+        if progress is not None and hits:
+            progress(
+                Progress(
+                    done=done_count,
+                    total=total,
+                    elapsed=time.perf_counter() - start,
+                    label=f"{campaign.name} (cached)",
+                )
+            )
+
+        obs_config = obs.worker_args() if obs is not None else None
+        executed = 0
+        retried = 0
+        payloads: Dict[int, Dict[str, Any]] = {}
+        attempt = 1
+        while pending:
+            failures: List[Tuple[CampaignTask, str, Topology, str]] = []
+            trial_tasks = [
+                TrialTask(
+                    index=task.ordinal,
+                    topology=topology,
+                    spec=task.spec,
+                    seed=task.seed,
+                    obs_config=obs_config,
+                )
+                for task, _key, topology in pending
+            ]
+            by_ordinal = {
+                task.ordinal: (task, key, topology)
+                for task, key, topology in pending
+            }
+            for ordinal, trial, payload, error in _run_batch(
+                trial_tasks, jobs
+            ):
+                task, key, topology = by_ordinal[ordinal]
+                if error is not None:
+                    failures.append((task, key, topology, error))
+                    continue
+                assert trial is not None
+                # Parent-side write, durable the moment the trial lands.
+                store.put(key, trial, fingerprint=fingerprints[ordinal])
+                results[ordinal] = trial
+                if payload is not None:
+                    payloads[ordinal] = payload
+                if obs is not None:
+                    obs.note_cache(False)
+                executed += 1
+                done_count += 1
+                if progress is not None:
+                    progress(
+                        Progress(
+                            done=done_count,
+                            total=total,
+                            elapsed=time.perf_counter() - start,
+                            label=campaign.name,
+                        )
+                    )
+            if not failures:
+                break
+            if attempt >= retry.max_attempts:
+                raise CampaignError(
+                    f"{len(failures)} trial(s) failed after "
+                    f"{retry.max_attempts} attempt(s): "
+                    + "; ".join(
+                        f"{t.label}/x={t.x:g}/seed={t.seed}: {err}"
+                        for t, _k, _topo, err in failures[:5]
+                    ),
+                    [(t, err) for t, _k, _topo, err in failures],
+                )
+            attempt += 1
+            retried += len(failures)
+            pending = [
+                (task, key, topology)
+                for task, key, topology, _err in failures
+            ]
+
+        # Absorb worker observability in ordinal (fold) order.
+        if obs is not None:
+            for ordinal in sorted(payloads):
+                obs.absorb(payloads[ordinal])
+
+        series_list, point_results = _fold(campaign, results)
+        wall = time.perf_counter() - start
+        manifest = {
+            "campaign": campaign.to_dict(),
+            "total_trials": total,
+            "cache_hits": hits,
+            "executed": executed,
+            "retried": retried,
+            "jobs": jobs,
+            "wall_seconds": round(wall, 3),
+            "schema_git_rev": git_revision(),
+        }
+        store.record_campaign(campaign.name, manifest)
+        if obs is not None:
+            obs.note_campaign(campaign.name, manifest)
+        return CampaignResult(
+            campaign=campaign,
+            series=series_list,
+            results=point_results,
+            cache_hits=hits,
+            cache_misses=executed,
+            executed=executed,
+            retried=retried,
+            wall_seconds=wall,
+        )
+    finally:
+        if own_store:
+            store.close()
+
+
+def _run_batch(
+    tasks: List[TrialTask], jobs: int
+) -> Iterator[
+    Tuple[int, Optional[TrialResult], Optional[Dict[str, Any]], Optional[str]]
+]:
+    """One attempt over a task batch; failures yielded, never raised.
+
+    Outcomes stream back as each trial completes — the caller commits
+    them to the store one by one, so an interrupt anywhere in the batch
+    loses only the trials still in flight, never finished ones.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield _guarded_execute(task)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(_guarded_execute, task) for task in tasks]
+        for future in as_completed(futures):
+            try:
+                yield future.result()
+            except Exception as exc:  # worker process died entirely
+                # Which task this was is unrecoverable from the future
+                # alone; map back via identity.
+                index = futures.index(future)
+                yield (
+                    tasks[index].index,
+                    None,
+                    None,
+                    f"{type(exc).__name__}: {exc}",
+                )
+
+
+def _fold(
+    campaign: Campaign, results: Dict[int, TrialResult]
+) -> Tuple[List[Series], Dict[Tuple[str, float], ExperimentResult]]:
+    """Seed-order fold into per-point results and per-scheme series."""
+    point_results: Dict[Tuple[str, float], ExperimentResult] = {}
+    for task in campaign.tasks():
+        point = point_results.get((task.label, task.x))
+        if point is None:
+            point = point_results[(task.label, task.x)] = ExperimentResult(
+                spec=task.spec
+            )
+        point.add(results[task.ordinal])
+    x_name = campaign.axis
+    series_list = []
+    for label in campaign.schemes:
+        series = Series(label=label, x_name=x_name)
+        for x in campaign.values:
+            series.add(x, point_results[(label, x)])
+        series_list.append(series)
+    return series_list, point_results
+
+
+def load_campaign_results(
+    campaign: Campaign, store: ResultStore
+) -> Tuple[List[Series], Dict[Tuple[str, float], ExperimentResult]]:
+    """Fold a campaign purely from the store (no simulation).
+
+    Raises :class:`CampaignError` listing the gap when any trial of the
+    grid is missing — ``export`` must never silently average over a
+    partial seed set.
+    """
+    results: Dict[int, TrialResult] = {}
+    missing: List[CampaignTask] = []
+    for task, key, _topology in _campaign_keys(campaign):
+        row = store.get(key)
+        if row is None:
+            missing.append(task)
+        else:
+            results[task.ordinal] = row
+    if missing:
+        raise CampaignError(
+            f"campaign {campaign.name} is incomplete: "
+            f"{len(missing)}/{campaign.total_trials} trials missing "
+            f"(run `repro-bgp campaign resume` first)",
+            [(t, "missing") for t in missing],
+        )
+    return _fold(campaign, results)

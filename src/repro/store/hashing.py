@@ -1,0 +1,137 @@
+"""Content-addressed cache keys for trials.
+
+A trial is a pure function of ``(topology, spec, seed)`` — that is the
+determinism contract :mod:`repro.core.parallel` already relies on to make
+``jobs=N`` bit-identical to serial.  This module turns the same three
+inputs into a *stable name*: a keyed-BLAKE2b hash over a canonical JSON
+encoding of the spec, a digest of the fully built topology, the trial
+seed and a schema version.  Two runs that would produce the same
+:class:`~repro.core.experiment.TrialResult` hash to the same key; any
+input change — an MRAI ladder value, one link delay, the seed — changes
+the key, so a stale cache entry can never be returned for a new
+configuration.
+
+The derivation mirrors :func:`repro.sim.rng.derive_seed`: keyed BLAKE2b,
+so keys are stable across processes and Python versions
+(``PYTHONHASHSEED``-immune) and namespaced away from every other BLAKE2b
+use in the codebase by the key string.
+
+Bump :data:`SCHEMA_VERSION` whenever simulation semantics change in a way
+that alters results for the same inputs (new event ordering, changed
+measurement protocol, ...) — old store entries then miss instead of
+poisoning new runs.  The golden tests pin hash vectors so an *accidental*
+key change cannot slip through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.experiment import ExperimentSpec
+    from repro.topology.graph import Topology
+
+#: Version of the (simulation semantics, TrialResult schema) pair the
+#: hash binds to.  Bumping it invalidates every existing store entry.
+SCHEMA_VERSION = 1
+
+#: BLAKE2b key namespacing trial-cache hashes (like the named random
+#: streams, the key makes collisions with other derivations impossible).
+_HASH_KEY = b"repro-store-trial"
+
+
+def canonical(value: Any) -> Any:
+    """A JSON-able form of ``value`` that is stable across processes.
+
+    Scalars pass through; containers recurse (sets sorted); dataclasses
+    and plain objects become ``{"__type__": qualified name, fields...}``
+    with public attributes only, so cosmetic/private state never reaches
+    the hash.  Types and callables reduce to their qualified names.  The
+    encoding is intentionally *strict about identity*: renaming a policy
+    class or changing a default changes the key, which is exactly the
+    invalidation rule a content-addressed store wants.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonical(v) for v in value]
+        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True))
+    if isinstance(value, dict):
+        pairs = [[canonical(k), canonical(v)] for k, v in value.items()]
+        return sorted(pairs, key=lambda p: json.dumps(p[0], sort_keys=True))
+    if isinstance(value, type):
+        return {"__class__": f"{value.__module__}.{value.__qualname__}"}
+    type_name = f"{type(value).__module__}.{type(value).__qualname__}"
+    if dataclasses.is_dataclass(value):
+        encoded: Dict[str, Any] = {"__type__": type_name}
+        for field in dataclasses.fields(value):
+            encoded[field.name] = canonical(getattr(value, field.name))
+        return encoded
+    if callable(value) and hasattr(value, "__qualname__"):
+        return {
+            "__callable__": f"{value.__module__}.{value.__qualname__}"
+        }
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        encoded = {"__type__": type_name}
+        for name in sorted(attrs):
+            if not name.startswith("_"):
+                encoded[name] = canonical(attrs[name])
+        return encoded
+    return {"__repr__": repr(value), "__type__": type_name}
+
+
+def _canonical_json(value: Any) -> str:
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def topology_digest(topology: "Topology") -> str:
+    """A BLAKE2b digest over the topology's full serialized content.
+
+    Hashing the *built* topology (every router position, every link
+    delay) rather than the factory's parameters means the key is correct
+    even for hand-edited or file-loaded topologies, and two factories
+    that produce the same graph share cache entries.
+    """
+    from repro.topology.serialize import topology_to_dict
+
+    payload = _canonical_json(topology_to_dict(topology))
+    return hashlib.blake2b(
+        payload.encode("utf-8"), key=_HASH_KEY, digest_size=16
+    ).hexdigest()
+
+
+def spec_fingerprint(
+    spec: "ExperimentSpec", topology: "Topology", seed: int
+) -> Dict[str, Any]:
+    """The canonical pre-image of :func:`spec_hash` (stored for audits)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "seed": seed,
+        "spec": canonical(spec),
+        "topology": topology_digest(topology),
+    }
+
+
+def spec_hash(
+    spec: "ExperimentSpec", topology: "Topology", seed: int
+) -> str:
+    """The content-addressed store key for one trial.
+
+    64 hex characters (256-bit keyed BLAKE2b) over the canonical JSON of
+    :func:`spec_fingerprint` — collision-free for all practical purposes,
+    stable forever unless :data:`SCHEMA_VERSION` is bumped.
+    """
+    payload = json.dumps(
+        spec_fingerprint(spec, topology, seed),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(
+        payload.encode("utf-8"), key=_HASH_KEY, digest_size=32
+    ).hexdigest()

@@ -1,0 +1,351 @@
+"""The persistent trial store: SQLite-backed, content-addressed, WAL mode.
+
+One row per trial, keyed by :func:`repro.store.hashing.spec_hash`.  The
+row carries the full :class:`~repro.core.experiment.TrialResult` payload
+plus provenance — which campaign/run wrote it, at which git revision,
+when, and how much wall clock the simulation cost (so a store can report
+how much compute it has banked).  A second table records one manifest
+row per campaign run, giving ``repro-bgp campaign status`` its history.
+
+Concurrency contract: **only the parent process writes**.  Worker
+processes return results over the pool pipe exactly as in
+:mod:`repro.core.parallel`; the parent stores them as they complete.
+WAL mode makes the single-writer/many-reader case safe and keeps each
+``put`` durable on its own commit, which is what makes a Ctrl-C'd sweep
+resumable — every finished trial is already on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import uuid
+from contextlib import contextmanager
+from dataclasses import fields as dataclass_fields
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.store.hashing import SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.experiment import TrialResult
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS trials (
+    key            TEXT PRIMARY KEY,
+    seed           INTEGER NOT NULL,
+    result         TEXT NOT NULL,
+    fingerprint    TEXT,
+    run_id         TEXT NOT NULL,
+    git_rev        TEXT,
+    schema_version INTEGER NOT NULL,
+    created_utc    TEXT NOT NULL,
+    wall_seconds   REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    name        TEXT NOT NULL,
+    run_id      TEXT NOT NULL,
+    git_rev     TEXT,
+    created_utc TEXT NOT NULL,
+    manifest    TEXT NOT NULL
+);
+"""
+
+_GIT_REV: Optional[str] = None
+_GIT_REV_PROBED = False
+
+
+def git_revision() -> Optional[str]:
+    """The current git revision (best effort, cached; None outside a repo)."""
+    global _GIT_REV, _GIT_REV_PROBED
+    if _GIT_REV_PROBED:
+        return _GIT_REV
+    _GIT_REV_PROBED = True
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+        if proc.returncode == 0:
+            _GIT_REV = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        _GIT_REV = None
+    return _GIT_REV
+
+
+def trial_to_dict(trial: "TrialResult") -> Dict[str, Any]:
+    """The trial's full measurement payload as plain JSON types."""
+    return {
+        f.name: getattr(trial, f.name) for f in dataclass_fields(trial)
+    }
+
+
+def trial_from_dict(data: Dict[str, Any]) -> "TrialResult":
+    """Rebuild a TrialResult, ignoring unknown keys (forward compat)."""
+    from repro.core.experiment import TrialResult
+
+    known = {f.name for f in dataclass_fields(TrialResult)}
+    return TrialResult(**{k: v for k, v in data.items() if k in known})
+
+
+class ResultStore:
+    """Trial-level result cache with provenance, on one SQLite file.
+
+    >>> with ResultStore("results/store.db") as store:
+    ...     if not store.has(key):
+    ...         store.put(key, trial)
+
+    ``hits`` / ``misses`` count this object's :meth:`get` outcomes, so a
+    driver can report the cache rate of the run it just performed
+    (:meth:`has` and iteration never touch the counters).
+    """
+
+    def __init__(self, path: Union[str, Path], timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=timeout)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._check_schema()
+        #: Identifies everything written by this store handle.
+        self.run_id = uuid.uuid4().hex
+        self.hits = 0
+        self.misses = 0
+
+    def _check_schema(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("created_utc", _now()),
+            )
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise ValueError(
+                f"{self.path}: store schema version {row[0]} does not match "
+                f"this code's version {SCHEMA_VERSION}; use a fresh store "
+                f"(cached results would be invalid)"
+            )
+
+    # ------------------------------------------------------------------
+    # Trial rows
+    # ------------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM trials WHERE key=?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def get(self, key: str) -> Optional["TrialResult"]:
+        """The cached trial for ``key``, or None (counted hit/miss)."""
+        row = self._conn.execute(
+            "SELECT result FROM trials WHERE key=?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trial_from_dict(json.loads(row[0]))
+
+    def put(
+        self,
+        key: str,
+        trial: "TrialResult",
+        fingerprint: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store (or overwrite) one trial; committed immediately.
+
+        Must only be called from the parent process — the single-writer
+        rule that keeps WAL simple and fold order deterministic.
+        """
+        self._conn.execute(
+            "INSERT OR REPLACE INTO trials "
+            "(key, seed, result, fingerprint, run_id, git_rev, "
+            " schema_version, created_utc, wall_seconds) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                trial.seed,
+                json.dumps(trial_to_dict(trial), sort_keys=True),
+                (
+                    json.dumps(fingerprint, sort_keys=True)
+                    if fingerprint is not None
+                    else None
+                ),
+                self.run_id,
+                git_revision(),
+                SCHEMA_VERSION,
+                _now(),
+                trial.warmup_wall + trial.convergence_wall,
+            ),
+        )
+        self._conn.commit()
+
+    def provenance(self, key: str) -> Optional[Dict[str, Any]]:
+        """Who wrote a trial, when, at which revision (None if absent)."""
+        row = self._conn.execute(
+            "SELECT seed, run_id, git_rev, schema_version, created_utc, "
+            "wall_seconds, fingerprint FROM trials WHERE key=?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "seed": row[0],
+            "run_id": row[1],
+            "git_rev": row[2],
+            "schema_version": row[3],
+            "created_utc": row[4],
+            "wall_seconds": row[5],
+            "fingerprint": json.loads(row[6]) if row[6] else None,
+        }
+
+    def iter_trials(self) -> Iterator[Tuple[str, "TrialResult"]]:
+        """Every stored (key, trial), in key order."""
+        cursor = self._conn.execute(
+            "SELECT key, result FROM trials ORDER BY key"
+        )
+        for key, payload in cursor:
+            yield key, trial_from_dict(json.loads(payload))
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM trials").fetchone()
+        return int(row[0])
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    def banked_wall_seconds(self) -> float:
+        """Total simulation wall clock the stored trials represent."""
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(wall_seconds), 0) FROM trials"
+        ).fetchone()
+        return float(row[0])
+
+    # ------------------------------------------------------------------
+    # Campaign manifests
+    # ------------------------------------------------------------------
+    def record_campaign(self, name: str, manifest: Dict[str, Any]) -> int:
+        """Append one campaign-run manifest row; returns its id."""
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns "
+            "(name, run_id, git_rev, created_utc, manifest) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                name,
+                self.run_id,
+                git_revision(),
+                _now(),
+                json.dumps(manifest, sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def iter_campaigns(
+        self, name: Optional[str] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Recorded campaign runs, oldest first (optionally by name)."""
+        if name is None:
+            cursor = self._conn.execute(
+                "SELECT id, name, run_id, git_rev, created_utc, manifest "
+                "FROM campaigns ORDER BY id"
+            )
+        else:
+            cursor = self._conn.execute(
+                "SELECT id, name, run_id, git_rev, created_utc, manifest "
+                "FROM campaigns WHERE name=? ORDER BY id",
+                (name,),
+            )
+        for row in cursor:
+            yield {
+                "id": row[0],
+                "name": row[1],
+                "run_id": row[2],
+                "git_rev": row[3],
+                "created_utc": row[4],
+                "manifest": json.loads(row[5]),
+            }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultStore({str(self.path)!r}, trials={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+#: Process-wide default store consulted by run_trials when ``store=None``
+#: (see :func:`use_store`); mirrors ``repro.core.parallel._DEFAULT_JOBS``.
+_DEFAULT_STORE: Optional[ResultStore] = None
+
+
+def default_store() -> Optional[ResultStore]:
+    """The store installed by the innermost :func:`use_store` block."""
+    return _DEFAULT_STORE
+
+
+@contextmanager
+def use_store(
+    store: Union[ResultStore, str, Path]
+) -> Iterator[ResultStore]:
+    """Make ``store`` the implicit trial cache for nested sweeps.
+
+    This is how the CLI's ``sweep --store`` reaches the ``run_trials``
+    calls buried inside the figure harness without threading a parameter
+    through thirteen figure modules — the exact pattern ``--jobs`` uses
+    via :func:`repro.core.parallel.parallel_jobs`.  A path argument is
+    opened (and closed on exit); an already-open store is left open.
+    """
+    global _DEFAULT_STORE
+    opened = None
+    if not isinstance(store, ResultStore):
+        store = opened = ResultStore(store)
+    previous = _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    try:
+        yield store
+    finally:
+        _DEFAULT_STORE = previous
+        if opened is not None:
+            opened.close()

@@ -94,3 +94,110 @@ def test_cli_sweep_unknown_figure(capsys):
 def test_cli_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# Store-backed sweeps and campaigns
+# ----------------------------------------------------------------------
+import json
+
+
+def write_campaign(tmp_path, store=None):
+    data = {
+        "name": "cli-unit",
+        "topology": {
+            "kind": "skewed",
+            "nodes": 24,
+            "distribution": "70-30",
+        },
+        "schemes": {"fifo-0.5": {"mrai": 0.5}},
+        "axis": {"name": "failure_fraction", "values": [0.1]},
+        "seeds": [1, 2],
+    }
+    if store is not None:
+        data["store"] = str(store)
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return path
+
+
+def test_cli_sweep_resume_requires_store(capsys):
+    code = main(["sweep", "--figure", "fig01", "--resume"])
+    assert code == 2
+    assert "--resume requires --store" in capsys.readouterr().err
+
+
+def test_cli_sweep_resume_missing_store(tmp_path, capsys):
+    code = main(
+        [
+            "sweep",
+            "--figure",
+            "fig01",
+            "--store",
+            str(tmp_path / "none.db"),
+            "--resume",
+        ]
+    )
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cli_campaign_cycle(tmp_path, capsys):
+    store = tmp_path / "store.db"
+    cfile = write_campaign(tmp_path, store=store)
+
+    # status before any run: nothing cached, still exit 0 (no --check)
+    assert main(["campaign", "status", str(cfile)]) == 0
+    assert "0/2 trials cached" in capsys.readouterr().out
+    # ... but --check flags the incomplete grid
+    assert main(["campaign", "status", str(cfile), "--check"]) == 1
+    capsys.readouterr()
+
+    # resume before run: nothing to resume
+    assert main(["campaign", "resume", str(cfile)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+    # export before run: refuse
+    out_dir = tmp_path / "series"
+    assert (
+        main(["campaign", "export", str(cfile), "--out", str(out_dir)]) == 1
+    )
+    assert "cannot export" in capsys.readouterr().err
+
+    # cold run executes everything
+    assert main(["campaign", "run", str(cfile)]) == 0
+    cold = capsys.readouterr().out
+    assert "2 trials — 0 cached (0%), 2 executed" in cold
+    assert "convergence delay" in cold
+
+    # resume is pure cache and renders the identical tables
+    assert main(["campaign", "resume", str(cfile)]) == 0
+    warm = capsys.readouterr().out
+    assert "2 cached (100%), 0 executed" in warm
+    assert warm.split("\n", 1)[1] == cold.split("\n", 1)[1]
+
+    # status --check now passes; history shows both runs
+    assert main(["campaign", "status", str(cfile), "--check"]) == 0
+    status = capsys.readouterr().out
+    assert "2/2 trials cached" in status
+    assert status.count("run 2") >= 2  # two recorded manifest rows
+
+    # export folds from the store only
+    assert (
+        main(["campaign", "export", str(cfile), "--out", str(out_dir)]) == 0
+    )
+    assert (out_dir / "cli-unit.csv").exists()
+    assert (out_dir / "cli-unit.json").exists()
+
+
+def test_cli_campaign_store_flag_overrides_file(tmp_path, capsys):
+    cfile = write_campaign(tmp_path)  # no store in the file
+    assert main(["campaign", "run", str(cfile)]) == 2
+    assert "no store" in capsys.readouterr().err
+
+    override = tmp_path / "cli-store.db"
+    code = main(
+        ["campaign", "run", str(cfile), "--store", str(override), "--jobs", "2"]
+    )
+    assert code == 0
+    assert override.exists()

@@ -102,3 +102,39 @@ def test_link_cut_failure_internal_links_only():
     cuts = link_cut_failure(topo, 0.3, center=(0.0, 500.0))
     # Failed region = {0,1,2}; links fully inside it: 0-1 and 1-2.
     assert sorted(cuts) == [(0, 1), (1, 2)]
+
+
+# ----------------------------------------------------------------------
+# Guards: empty / too-small topologies fail loudly, not cryptically
+# ----------------------------------------------------------------------
+def test_empty_topology_rejected_everywhere():
+    from repro.topology.graph import Topology
+
+    empty = Topology()
+    with pytest.raises(ValueError, match="empty topology"):
+        geographic_failure(empty, 0.1)
+    with pytest.raises(ValueError, match="empty topology"):
+        random_failure(empty, 0.1, random.Random(1))
+
+
+def test_fraction_of_empty_topology_rejected():
+    from repro.topology.graph import Topology
+
+    topo = grid_line_topology()
+    scenario = single_node_failure(topo, 3)
+    assert scenario.fraction_of(topo) == pytest.approx(0.1)
+    with pytest.raises(ValueError, match="empty topology"):
+        scenario.fraction_of(Topology())
+
+
+def test_random_failure_on_tiny_topology_still_works():
+    # A fraction that rounds below one node must fail one node, not zero
+    # (and never more nodes than exist).
+    from repro.topology.graph import Router, Topology
+
+    tiny = Topology()
+    tiny.add_router(Router(node_id=0, asn=0, x=0.0, y=0.0))
+    scenario = random_failure(tiny, 0.01, random.Random(1))
+    assert scenario.nodes == {0}
+    geo = geographic_failure(tiny, 1.0, center=(0.0, 0.0))
+    assert geo.nodes == {0}

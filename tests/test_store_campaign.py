@@ -1,0 +1,341 @@
+"""Tests for resumable campaigns (repro.store.campaign).
+
+Headline properties: a resumed campaign executes exactly the missing
+trials; cached, fresh, serial and pooled runs fold bit-identically to a
+plain uncached sweep; worker failures retry per-trial instead of
+aborting siblings; and export refuses partial grids.
+"""
+
+import sqlite3
+
+import pytest
+
+import repro.store.campaign as campaign_mod
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.core.sweep import failure_size_sweep
+from repro.obs.session import ObsSession
+from repro.store import (
+    Campaign,
+    CampaignError,
+    ResultStore,
+    RetryPolicy,
+    build_spec,
+    campaign_status,
+    load_campaign_results,
+    run_campaign,
+)
+from repro.topology.skewed import skewed_topology
+
+CAMPAIGN = {
+    "name": "unit",
+    "topology": {"kind": "skewed", "nodes": 24, "distribution": "70-30"},
+    "schemes": {
+        "fifo-0.5": {"mrai": 0.5},
+        "dynamic": {"mrai_scheme": "dynamic", "levels": [0.5, 1.25, 2.25]},
+    },
+    "axis": {"name": "failure_fraction", "values": [0.1, 0.2]},
+    "seeds": [1, 2],
+}
+
+
+def make_campaign(**overrides):
+    data = dict(CAMPAIGN)
+    data.update(overrides)
+    return Campaign.from_dict(data)
+
+
+def series_signature(series_list):
+    return sorted(
+        (s.label, s.delays, s.message_counts) for s in series_list
+    )
+
+
+def delete_trials(store, count):
+    conn = sqlite3.connect(str(store.path))
+    conn.execute(
+        "DELETE FROM trials WHERE key IN "
+        f"(SELECT key FROM trials LIMIT {count})"
+    )
+    conn.commit()
+    conn.close()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ResultStore(tmp_path / "store.db") as s:
+        yield s
+
+
+# ----------------------------------------------------------------------
+# Declarative round trip and validation
+# ----------------------------------------------------------------------
+def test_campaign_roundtrips_through_json(tmp_path):
+    campaign = make_campaign(store="results/x.db")
+    path = campaign.save(tmp_path / "c.json")
+    loaded = Campaign.from_file(path)
+    assert loaded.to_dict() == campaign.to_dict()
+    assert loaded.store_path == "results/x.db"
+
+
+def test_seeds_expand_from_master_count():
+    a = make_campaign(seeds={"master": 7, "count": 3})
+    b = make_campaign(seeds={"master": 7, "count": 3})
+    assert a.seeds == b.seeds
+    assert len(set(a.seeds)) == 3
+    assert a.seeds != make_campaign(seeds={"master": 8, "count": 3}).seeds
+
+
+def test_tasks_enumerate_in_scheme_x_seed_order():
+    campaign = make_campaign()
+    tasks = campaign.tasks()
+    assert len(tasks) == campaign.total_trials == 8
+    assert [t.ordinal for t in tasks] == list(range(8))
+    assert [(t.label, t.x, t.seed) for t in tasks[:4]] == [
+        ("fifo-0.5", 0.1, 1),
+        ("fifo-0.5", 0.1, 2),
+        ("fifo-0.5", 0.2, 1),
+        ("fifo-0.5", 0.2, 2),
+    ]
+
+
+@pytest.mark.parametrize(
+    "overrides, match",
+    [
+        ({"axis": {"name": "bogus", "values": [1]}}, "unknown axis"),
+        ({"schemes": {}}, "at least one scheme"),
+        ({"seeds": []}, "at least one seed"),
+        ({"axis": {"name": "failure_fraction", "values": []}}, "axis value"),
+    ],
+)
+def test_campaign_validation(overrides, match):
+    with pytest.raises(ValueError, match=match):
+        make_campaign(**overrides)
+
+
+def test_build_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown scheme keys"):
+        build_spec({"mrai": 0.5, "mria": 2.0})
+    with pytest.raises(ValueError, match="unknown mrai_scheme"):
+        build_spec({"mrai_scheme": "quantum"})
+
+
+def test_topology_factory_rejects_unknowns():
+    with pytest.raises(ValueError, match="unknown distribution"):
+        make_campaign(
+            topology={"kind": "skewed", "nodes": 24, "distribution": "99-1"}
+        ).topology_factory()
+    with pytest.raises(ValueError, match="unknown topology kind"):
+        make_campaign(topology={"kind": "torus"}).topology_factory()
+
+
+def test_retry_policy_validates():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Run / resume / warm: only the missing trials execute
+# ----------------------------------------------------------------------
+def test_cold_resume_warm_cycle(store):
+    campaign = make_campaign()
+    cold = run_campaign(campaign, store)
+    assert cold.executed == 8 and cold.cache_hits == 0
+    assert len(store) == 8
+
+    delete_trials(store, 3)
+    assert campaign_status(campaign, store).missing == 3
+
+    resumed = run_campaign(campaign, store)
+    assert resumed.executed == 3 and resumed.cache_hits == 5
+
+    warm = run_campaign(campaign, store)
+    assert warm.executed == 0 and warm.cache_hit_rate == 1.0
+
+    assert (
+        series_signature(cold.series)
+        == series_signature(resumed.series)
+        == series_signature(warm.series)
+    )
+    status = campaign_status(campaign, store)
+    assert status.complete
+    assert len(status.history) == 3
+    assert [r["manifest"]["executed"] for r in status.history] == [8, 3, 0]
+
+
+def test_campaign_matches_uncached_sweep(store):
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}}, seeds=[1, 2]
+    )
+    result = run_campaign(campaign, store)
+    direct = failure_size_sweep(
+        lambda seed: skewed_topology(24, seed=seed),
+        ExperimentSpec(mrai=ConstantMRAI(0.5)),
+        (0.1, 0.2),
+        (1, 2),
+    )
+    assert len(result.series) == 1
+    assert result.series[0].delays == direct.delays
+    assert result.series[0].message_counts == direct.message_counts
+
+
+def test_parallel_campaign_matches_serial(tmp_path):
+    campaign = make_campaign()
+    with ResultStore(tmp_path / "serial.db") as s1:
+        serial = run_campaign(campaign, s1)
+    with ResultStore(tmp_path / "pool.db") as s2:
+        pooled = run_campaign(campaign, s2, jobs=2)
+        assert pooled.executed == 8
+        assert len(s2) == 8
+    assert series_signature(serial.series) == series_signature(pooled.series)
+
+
+def test_run_campaign_opens_store_from_path(tmp_path):
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}},
+        axis={"name": "failure_fraction", "values": [0.1]},
+        seeds=[1],
+        store=str(tmp_path / "own.db"),
+    )
+    result = run_campaign(campaign)
+    assert result.executed == 1
+    with ResultStore(tmp_path / "own.db") as store:
+        assert len(store) == 1
+
+
+def test_run_campaign_without_store_path_errors():
+    with pytest.raises(ValueError, match="no store path"):
+        run_campaign(make_campaign())
+
+
+def test_obs_session_sees_campaign(store):
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}},
+        axis={"name": "failure_fraction", "values": [0.1]},
+        seeds=[1, 2],
+    )
+    obs = ObsSession()
+    run_campaign(campaign, store, obs=obs)
+    assert obs.cache_misses == 2
+    run_campaign(campaign, store, obs=obs)
+    assert obs.cache_hits == 2
+    manifest = obs.finalize()
+    assert [c["name"] for c in manifest.extra["campaigns"]] == ["unit", "unit"]
+
+
+# ----------------------------------------------------------------------
+# Retry: per-trial, bounded
+# ----------------------------------------------------------------------
+def flaky_executor(fail_times):
+    """Wrap execute_trial to fail each trial's first ``fail_times`` calls."""
+    calls = {}
+    real = campaign_mod.execute_trial
+
+    def wrapped(task):
+        n = calls.get(task.index, 0)
+        calls[task.index] = n + 1
+        if n < fail_times:
+            raise RuntimeError(f"injected failure #{n + 1}")
+        return real(task)
+
+    return wrapped
+
+
+def test_worker_failures_retry_until_success(store, monkeypatch):
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}},
+        axis={"name": "failure_fraction", "values": [0.1]},
+        seeds=[1, 2],
+    )
+    monkeypatch.setattr(
+        campaign_mod, "execute_trial", flaky_executor(fail_times=1)
+    )
+    result = run_campaign(campaign, store, retry=RetryPolicy(max_attempts=3))
+    assert result.executed == 2
+    assert result.retried == 2
+    assert len(store) == 2
+
+
+def test_exhausted_retries_raise_campaign_error(store, monkeypatch):
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}},
+        axis={"name": "failure_fraction", "values": [0.1]},
+        seeds=[1, 2],
+    )
+    monkeypatch.setattr(
+        campaign_mod, "execute_trial", flaky_executor(fail_times=99)
+    )
+    with pytest.raises(CampaignError, match="failed after 2 attempt"):
+        run_campaign(campaign, store, retry=RetryPolicy(max_attempts=2))
+    assert len(store) == 0
+
+
+def test_partial_failure_stores_the_successes(store, monkeypatch):
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}},
+        axis={"name": "failure_fraction", "values": [0.1]},
+        seeds=[1, 2],
+    )
+    real = campaign_mod.execute_trial
+
+    def second_trial_dies(task):
+        if task.index == 1:
+            raise RuntimeError("injected permanent failure")
+        return real(task)
+
+    monkeypatch.setattr(campaign_mod, "execute_trial", second_trial_dies)
+    with pytest.raises(CampaignError) as excinfo:
+        run_campaign(campaign, store, retry=RetryPolicy(max_attempts=2))
+    # The healthy sibling was committed before the error surfaced ...
+    assert len(store) == 1
+    assert len(excinfo.value.failures) == 1
+    # ... so the re-run (healed) is incremental.
+    monkeypatch.setattr(campaign_mod, "execute_trial", real)
+    healed = run_campaign(campaign, store)
+    assert healed.executed == 1 and healed.cache_hits == 1
+
+
+def test_trials_commit_as_they_land_not_at_batch_end(store, monkeypatch):
+    # A hard interrupt (KeyboardInterrupt is not caught by the retry
+    # machinery) mid-batch must lose only the in-flight trial — earlier
+    # completions were already committed, which is what makes Ctrl-C'd
+    # campaigns resumable.
+    campaign = make_campaign(
+        schemes={"fifo-0.5": {"mrai": 0.5}},
+        axis={"name": "failure_fraction", "values": [0.1]},
+        seeds=[1, 2, 3],
+    )
+    real = campaign_mod.execute_trial
+
+    def interrupt_third(task):
+        if task.index == 2:
+            raise KeyboardInterrupt
+        return real(task)
+
+    monkeypatch.setattr(campaign_mod, "execute_trial", interrupt_third)
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(campaign, store)
+    assert len(store) == 2
+
+    monkeypatch.setattr(campaign_mod, "execute_trial", real)
+    resumed = run_campaign(campaign, store)
+    assert resumed.executed == 1 and resumed.cache_hits == 2
+
+
+# ----------------------------------------------------------------------
+# Export folds from cache only, never partially
+# ----------------------------------------------------------------------
+def test_load_campaign_results_matches_run(store):
+    campaign = make_campaign()
+    live = run_campaign(campaign, store)
+    series_list, point_results = load_campaign_results(campaign, store)
+    assert series_signature(series_list) == series_signature(live.series)
+    assert set(point_results) == set(live.results)
+
+
+def test_load_campaign_results_refuses_partial(store):
+    campaign = make_campaign()
+    run_campaign(campaign, store)
+    delete_trials(store, 2)
+    with pytest.raises(CampaignError, match="2/8 trials missing"):
+        load_campaign_results(campaign, store)

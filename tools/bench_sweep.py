@@ -5,8 +5,10 @@ Runs the same failure-size sweep (constant MRAI, skewed topology) under
 each requested ``--jobs`` value, reports wall time, trials/sec, speedup
 over the serial baseline and aggregate events/sec, and asserts the swept
 series are bit-identical across backends — the determinism contract of
-:mod:`repro.core.parallel`.  Writes everything to ``BENCH_sweep.json`` so
-CI can archive the numbers commit over commit:
+:mod:`repro.core.parallel`.  Each run *appends* a timestamped record to
+the ``history`` list in ``BENCH_sweep.json`` (legacy single-record files
+are converted in place), so the perf trajectory across commits/PRs is
+preserved rather than overwritten:
 
     PYTHONPATH=src python tools/bench_sweep.py
     PYTHONPATH=src python tools/bench_sweep.py --jobs 1 2 4 8 \\
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Sequence
 
@@ -64,6 +67,30 @@ def total_events(series: Series) -> int:
     return sum(
         t.events_executed for p in series.points for t in p.result.trials
     )
+
+
+def load_history(path: Path) -> List[Dict]:
+    """Existing benchmark records at ``path`` (legacy files converted).
+
+    Pre-history files held one record at the top level; that record
+    becomes the first history entry so no measurement is ever lost.
+    Unreadable files start a fresh history rather than aborting a bench.
+    """
+    if not path.exists():
+        return []
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if not isinstance(existing, dict):
+        return []
+    history = existing.get("history")
+    if isinstance(history, list):
+        return history
+    if existing.get("kind") == "BENCH_sweep":
+        legacy = {k: v for k, v in existing.items() if k != "kind"}
+        return [legacy]
+    return []
 
 
 def main() -> int:
@@ -148,7 +175,7 @@ def main() -> int:
         )
 
     record = {
-        "kind": "BENCH_sweep",
+        "recorded_utc": datetime.now(timezone.utc).isoformat(),
         "nodes": args.nodes,
         "fractions": args.fractions,
         "seeds": args.seeds,
@@ -160,8 +187,11 @@ def main() -> int:
     }
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out}")
+    history = load_history(out)
+    history.append(record)
+    document = {"kind": "BENCH_sweep", "history": history}
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(history)} record(s))")
 
     if not identical:
         print("ERROR: parallel results differ from the serial baseline")
