@@ -26,7 +26,7 @@ Implemented:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bgp.routes import Route
 from repro.topology.graph import Topology
@@ -72,6 +72,37 @@ class ASRelationships:
     def __len__(self) -> int:
         return len(self._rel) // 2
 
+    def items(self) -> List[Tuple[int, int, str]]:
+        """Directed ``(local, neighbor, relation)`` triples, sorted.
+
+        The serialized form used by the declarative spec layer; feed back
+        through :meth:`from_items` to reconstruct.
+        """
+        return sorted((a, b, rel) for (a, b), rel in self._rel.items())
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[Tuple[int, int, str]]
+    ) -> "ASRelationships":
+        """Rebuild from :meth:`items` output (directed triples)."""
+        rels = cls()
+        for a, b, rel in items:
+            if rel not in _RANK:
+                raise ValueError(
+                    f"unknown relationship {rel!r}; "
+                    f"choose from {sorted(_RANK)}"
+                )
+            rels._rel[(int(a), int(b))] = rel
+        return rels
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ASRelationships):
+            return NotImplemented
+        return self._rel == other._rel
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._rel.items()))
+
 
 class RoutingPolicy:
     """Import/export policy interface consulted by the speaker."""
@@ -97,6 +128,16 @@ class RoutingPolicy:
         """May a route learned from ``learned_from_asn`` (``None`` for
         locally originated) be advertised to ``to_asn``?"""
         raise NotImplementedError
+
+    # Value equality, like MRAIPolicy: two policies with identical
+    # configuration compare equal so spec round-trips hold.
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.name))
 
 
 class ShortestPathPolicy(RoutingPolicy):

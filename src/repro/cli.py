@@ -3,18 +3,20 @@
 Main subcommands::
 
     repro-bgp run   --nodes 120 --distribution 70-30 --mrai 0.5 \\
-                    --failure 0.05 --scheme fifo --seed 1
+                    --failure 0.05 --queue fifo --seed 1
     repro-bgp sweep --figure fig3 --scale quick --store results/store.db
     repro-bgp campaign run mycampaign.json --jobs 4
+    repro-bgp campaign validate mycampaign.json
     repro-bgp trace analyze trace.jsonl
 
 ``run`` executes one convergence experiment and prints the measurements;
 ``sweep`` regenerates one of the paper's figures (same harness the
 benchmark suite uses) and prints its series table — with ``--store`` the
 trials are cached content-addressed and never recomputed; ``campaign``
-runs/resumes/inspects/exports declarative sweep grids against a store
-(see docs/STORAGE.md); ``trace analyze`` post-processes a ``--trace-out``
-JSONL trace into the causal-chain and path-exploration report.
+runs/resumes/validates/inspects/exports declarative sweep grids against
+a store (see docs/STORAGE.md and docs/SPECS.md); ``trace analyze``
+post-processes a ``--trace-out`` JSONL trace into the causal-chain and
+path-exploration report.
 """
 
 from __future__ import annotations
@@ -24,18 +26,20 @@ import contextlib
 import sys
 from typing import List, Optional
 
-from repro.bgp.mrai import ConstantMRAI, MRAIPolicy
-from repro.core.degree_mrai import DegreeDependentMRAI
-from repro.core.dynamic_mrai import DynamicMRAI
+from repro.bgp.mrai import MRAIPolicy
 from repro.core.experiment import ExperimentSpec, run_experiment
-from repro.topology.graph import Topology
-from repro.topology.internet import internet_like_topology
-from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
-from repro.topology.skewed import skewed_topology
 
-#: Named degree distributions; canonical table lives with the campaign
-#: definitions so CLI flags and campaign files accept the same names.
-from repro.store.campaign import DISTRIBUTIONS  # noqa: E402
+#: All scheme/topology vocabulary is registry data (repro.specs), so CLI
+#: flag choices stay in lockstep with what campaign files accept.
+from repro.specs import (
+    DISTRIBUTIONS,
+    MRAI_SCHEMES,
+    QUEUE_DISCIPLINES,
+    TOPOLOGY_KINDS,
+    build_mrai,
+    topology_factory,
+)
+from repro.topology.graph import Topology
 
 
 def build_topology(args: argparse.Namespace) -> Topology:
@@ -43,47 +47,32 @@ def build_topology(args: argparse.Namespace) -> Topology:
         from repro.topology.serialize import load_topology
 
         return load_topology(args.topology_file)
+    block = {"kind": args.topology, "nodes": args.nodes}
     if args.topology == "skewed":
-        return skewed_topology(
-            args.nodes, DISTRIBUTIONS[args.distribution](), seed=args.seed
-        )
-    if args.topology == "internet":
-        return internet_like_topology(args.nodes, seed=args.seed)
-    if args.topology == "multirouter":
-        return multi_router_topology(
-            MultiRouterSpec(num_ases=args.nodes), seed=args.seed
-        )
-    raise ValueError(f"unknown topology {args.topology!r}")
+        block["distribution"] = args.distribution
+    return topology_factory(block)(args.seed)
+
+
+def _scheme_from_args(args: argparse.Namespace) -> dict:
+    """The declarative scheme dict the run flags describe."""
+    kind = args.mrai_scheme
+    scheme = {"mrai_scheme": kind}
+    if kind == "constant":
+        scheme["mrai"] = args.mrai
+    elif kind == "degree":
+        scheme["mrai_low"] = args.mrai_low
+        scheme["mrai_high"] = args.mrai_high
+    elif kind in ("dynamic", "theory"):
+        scheme["up_th"] = args.up_th
+        scheme["down_th"] = args.down_th
+    return scheme
 
 
 def build_mrai_policy(
     args: argparse.Namespace, topology: Optional[Topology] = None
 ) -> MRAIPolicy:
-    if args.mrai_scheme == "constant":
-        return ConstantMRAI(args.mrai)
-    if args.mrai_scheme == "degree":
-        return DegreeDependentMRAI(args.mrai_low, args.mrai_high)
-    if args.mrai_scheme == "dynamic":
-        return DynamicMRAI(up_th=args.up_th, down_th=args.down_th)
-    if args.mrai_scheme == "adaptive":
-        if topology is None:
-            raise ValueError("adaptive MRAI needs the topology")
-        from repro.core.adaptive import AdaptiveExtentMRAI
-
-        return AdaptiveExtentMRAI(
-            total_destinations=len(topology.as_numbers())
-        )
-    if args.mrai_scheme == "theory":
-        if topology is None:
-            raise ValueError("theory-ladder MRAI needs the topology")
-        from repro.core.theory import recommend_ladder
-
-        return DynamicMRAI(
-            levels=recommend_ladder(topology),
-            up_th=args.up_th,
-            down_th=args.down_th,
-        )
-    raise ValueError(f"unknown MRAI scheme {args.mrai_scheme!r}")
+    """Thin wrapper over the MRAI scheme registry (repro.specs)."""
+    return build_mrai(_scheme_from_args(args), topology)
 
 
 def _make_obs_session(
@@ -417,6 +406,38 @@ def cmd_campaign_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_validate(args: argparse.Namespace) -> int:
+    """Fast-path check of campaign files: parse, validate, resolve.
+
+    Everything except simulation runs: JSON syntax, the grid shape,
+    every scheme dict (per-field registry messages), the topology block,
+    and — because topology-dependent schemes are resolved against the
+    first seed's topology — that adaptive/theory/inferred-policy schemes
+    actually build.  Exit 2 if any file fails.
+    """
+    import json
+
+    from repro.store.campaign import Campaign
+
+    failures = 0
+    for path in args.files:
+        try:
+            campaign = Campaign.from_file(path)
+            for label in campaign.schemes:
+                campaign.base_spec(label)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"{path}: ok — campaign {campaign.name!r}: "
+            f"{len(campaign.schemes)} scheme(s) x {len(campaign.values)} "
+            f"value(s) x {len(campaign.seeds)} seed(s) = "
+            f"{campaign.total_trials} trials"
+        )
+    return 2 if failures else 0
+
+
 def cmd_topo(args: argparse.Namespace) -> int:
     """Generate a topology, print its summary, optionally save it."""
     topology = build_topology(args)
@@ -482,7 +503,7 @@ def make_parser() -> argparse.ArgumentParser:
         parser_.add_argument("--nodes", type=int, default=120)
         parser_.add_argument(
             "--topology",
-            choices=("skewed", "internet", "multirouter"),
+            choices=TOPOLOGY_KINDS.names(),
             default="skewed",
         )
         parser_.add_argument(
@@ -498,7 +519,7 @@ def make_parser() -> argparse.ArgumentParser:
     add_topology_args(run_p)
     run_p.add_argument(
         "--mrai-scheme",
-        choices=("constant", "degree", "dynamic", "adaptive", "theory"),
+        choices=MRAI_SCHEMES.names(),
         default="constant",
     )
     run_p.add_argument("--mrai", type=float, default=0.5)
@@ -508,7 +529,7 @@ def make_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--down-th", type=float, default=0.05)
     run_p.add_argument(
         "--queue",
-        choices=("fifo", "dest_batch", "dest_batch_wf", "tcp_batch"),
+        choices=QUEUE_DISCIPLINES.names(),
         default="fifo",
     )
     run_p.add_argument("--failure", type=float, default=0.05)
@@ -593,6 +614,18 @@ def make_parser() -> argparse.ArgumentParser:
         )
         add_obs_args(runner_p)
         runner_p.set_defaults(func=cmd_campaign_run)
+
+    validate_p = campaign_sub.add_parser(
+        "validate",
+        help="check campaign files (schemes, topology, grid) without "
+        "running anything",
+    )
+    validate_p.add_argument(
+        "files",
+        nargs="+",
+        help="campaign definition JSON file(s) to check",
+    )
+    validate_p.set_defaults(func=cmd_campaign_validate)
 
     status_p = campaign_sub.add_parser(
         "status", help="grid completeness + recorded runs"

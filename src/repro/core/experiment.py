@@ -114,6 +114,17 @@ class ExperimentSpec:
         """A copy with the given fields replaced (sweep convenience)."""
         return replace(self, **changes)
 
+    def to_dict(self) -> Dict[str, object]:
+        """The fully explicit declarative scheme dict for this spec.
+
+        ``repro.specs.spec_from_dict(spec.to_dict()) == spec`` for every
+        spec whose policies are registry-serializable; raises
+        :class:`repro.specs.SpecSerializationError` otherwise.
+        """
+        from repro.specs.serialize import spec_to_dict
+
+        return spec_to_dict(self)
+
 
 @dataclass(frozen=True)
 class TrialResult:

@@ -25,49 +25,20 @@ choices in prose.  Each ablation here isolates one of them:
 
 from __future__ import annotations
 
-from repro.bgp.mrai import ConstantMRAI
-from repro.core.dynamic_mrai import DynamicMRAI
-from repro.core.experiment import ExperimentSpec
-from repro.core.sweep import failure_size_sweep
 from repro.figures.common import (
     Check,
     FigureOutput,
     ScaleProfile,
     check_le,
     check_ratio,
+    scheme_set_failure_sweep,
     skewed_factory,
 )
 
 
-def _sweep_schemes(profile, schemes, fractions=None):
-    factory = skewed_factory(profile)
-    return [
-        failure_size_sweep(
-            factory,
-            spec,
-            fractions if fractions is not None else profile.fractions,
-            profile.seeds,
-            label=label,
-        )
-        for label, spec in schemes
-    ]
-
-
 # ---------------------------------------------------------------------------
 def compute_per_dest_mrai(profile: ScaleProfile) -> FigureOutput:
-    low = profile.mrai_three[0]
-    series = _sweep_schemes(
-        profile,
-        [
-            ("per-peer", ExperimentSpec(mrai=ConstantMRAI(low))),
-            (
-                "per-destination",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low), per_destination_mrai=True
-                ),
-            ),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_per_dest_mrai", profile))
     per_peer, per_dest = series
     f_large = profile.largest_fraction
     checks = [
@@ -96,25 +67,7 @@ def compute_per_dest_mrai(profile: ScaleProfile) -> FigureOutput:
 
 # ---------------------------------------------------------------------------
 def compute_tcp_batch(profile: ScaleProfile) -> FigureOutput:
-    low = profile.mrai_three[0]
-    series = _sweep_schemes(
-        profile,
-        [
-            ("FIFO", ExperimentSpec(mrai=ConstantMRAI(low))),
-            (
-                "tcp-batch",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low), queue_discipline="tcp_batch"
-                ),
-            ),
-            (
-                "dest-batch",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low), queue_discipline="dest_batch"
-                ),
-            ),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_tcp_batch", profile))
     fifo, tcp, dest = series
     f_large = profile.largest_fraction
     checks = [
@@ -152,36 +105,7 @@ def compute_tcp_batch(profile: ScaleProfile) -> FigureOutput:
 
 # ---------------------------------------------------------------------------
 def compute_monitors(profile: ScaleProfile) -> FigureOutput:
-    levels = profile.dynamic_levels
-    series = _sweep_schemes(
-        profile,
-        [
-            ("queue", ExperimentSpec(mrai=DynamicMRAI(levels=levels))),
-            (
-                "utilization",
-                ExperimentSpec(
-                    mrai=DynamicMRAI(
-                        levels=levels,
-                        monitor="utilization",
-                        up_th=0.85,
-                        down_th=0.30,
-                    )
-                ),
-            ),
-            (
-                "msgcount",
-                ExperimentSpec(
-                    mrai=DynamicMRAI(
-                        levels=levels,
-                        monitor="msgcount",
-                        up_th=40.0,
-                        down_th=5.0,
-                    )
-                ),
-            ),
-            ("static low", ExperimentSpec(mrai=ConstantMRAI(levels[0]))),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_monitors", profile))
     queue, util, msg, static_low = series
     f_large = profile.largest_fraction
     checks = [
@@ -211,21 +135,7 @@ def compute_monitors(profile: ScaleProfile) -> FigureOutput:
 
 # ---------------------------------------------------------------------------
 def compute_high_degree_only(profile: ScaleProfile) -> FigureOutput:
-    levels = profile.dynamic_levels
-    series = _sweep_schemes(
-        profile,
-        [
-            ("dynamic everywhere", ExperimentSpec(mrai=DynamicMRAI(levels=levels))),
-            (
-                "dynamic at high degree only",
-                ExperimentSpec(
-                    mrai=DynamicMRAI(
-                        levels=levels, high_degree_only_threshold=4
-                    )
-                ),
-            ),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_high_degree_only", profile))
     everywhere, high_only = series
     f_large = profile.largest_fraction
     ratio = high_only.delay_at(f_large) / everywhere.delay_at(f_large)
@@ -250,19 +160,7 @@ def compute_high_degree_only(profile: ScaleProfile) -> FigureOutput:
 
 # ---------------------------------------------------------------------------
 def compute_failure_geometry(profile: ScaleProfile) -> FigureOutput:
-    low = profile.mrai_three[0]
-    series = _sweep_schemes(
-        profile,
-        [
-            ("geographic", ExperimentSpec(mrai=ConstantMRAI(low))),
-            (
-                "scattered",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low), failure_kind="random"
-                ),
-            ),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_failure_geometry", profile))
     checks = [
         Check(
             "both geometries converge and grow with failure size",
@@ -281,22 +179,7 @@ def compute_failure_geometry(profile: ScaleProfile) -> FigureOutput:
 
 # ---------------------------------------------------------------------------
 def compute_withdrawal_rl(profile: ScaleProfile) -> FigureOutput:
-    low = profile.mrai_three[0]
-    series = _sweep_schemes(
-        profile,
-        [
-            (
-                "immediate withdrawals",
-                ExperimentSpec(mrai=ConstantMRAI(low)),
-            ),
-            (
-                "rate-limited withdrawals",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low), withdrawal_rate_limiting=True
-                ),
-            ),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_withdrawal_rl", profile))
     immediate, limited = series
     checks = [
         Check(
@@ -320,34 +203,7 @@ def compute_withdrawal_rl(profile: ScaleProfile) -> FigureOutput:
 
 # ---------------------------------------------------------------------------
 def compute_processing(profile: ScaleProfile) -> FigureOutput:
-    low = profile.mrai_three[0]
-    series = _sweep_schemes(
-        profile,
-        [
-            ("uniform(1,30)ms FIFO", ExperimentSpec(mrai=ConstantMRAI(low))),
-            (
-                "uniform(1,30)ms batching",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low), queue_discipline="dest_batch"
-                ),
-            ),
-            (
-                "zero cost FIFO",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low),
-                    processing_delay_range=(0.0, 0.0),
-                ),
-            ),
-            (
-                "zero cost batching",
-                ExperimentSpec(
-                    mrai=ConstantMRAI(low),
-                    processing_delay_range=(0.0, 0.0),
-                    queue_discipline="dest_batch",
-                ),
-            ),
-        ],
-    )
+    series = list(scheme_set_failure_sweep("ab_processing", profile))
     loaded_fifo, loaded_batch, free_fifo, free_batch = series
     f_large = profile.largest_fraction
     free_ratio = (
@@ -395,45 +251,15 @@ def compute_future_work(profile: ScaleProfile) -> FigureOutput:
       necessary to develop a suitable theory for choosing various
       parameters"), feeding the paper's own dynamic scheme.
     """
-    from repro.core.adaptive import AdaptiveExtentMRAI
-    from repro.core.theory import recommend_ladder
-    from repro.figures.common import skewed_factory as _sf
-
-    factory = _sf(profile)
+    # The adaptive/theory schemes resolve against the seed[0] topology
+    # (failure extents and recommended ladders are topology properties).
+    factory = skewed_factory(profile)
     sample_topology = factory(profile.seeds[0])
-    total_destinations = len(sample_topology.as_numbers())
-    theory_ladder = recommend_ladder(sample_topology)
-    low = profile.mrai_three[0]
-    schemes = [
-        (f"MRAI={low:g}s", ExperimentSpec(mrai=ConstantMRAI(low))),
-        (
-            "dynamic (paper)",
-            ExperimentSpec(mrai=DynamicMRAI(levels=profile.dynamic_levels)),
-        ),
-        (
-            "batching (paper)",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low), queue_discipline="dest_batch"
-            ),
-        ),
-        (
-            "adaptive extent",
-            ExperimentSpec(
-                mrai=AdaptiveExtentMRAI(total_destinations=total_destinations)
-            ),
-        ),
-        (
-            "withdrawal-first batch",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low), queue_discipline="dest_batch_wf"
-            ),
-        ),
-        (
-            "dynamic @ theory ladder",
-            ExperimentSpec(mrai=DynamicMRAI(levels=theory_ladder)),
-        ),
-    ]
-    series = _sweep_schemes(profile, schemes)
+    series = list(
+        scheme_set_failure_sweep(
+            "ab_future_work", profile, topology=sample_topology
+        )
+    )
     const_low, dynamic, batching, adaptive, wf_batch, theory = series
     f_small = profile.smallest_fraction
     f_large = profile.largest_fraction
@@ -484,19 +310,7 @@ def compute_detection_delay(profile: ScaleProfile) -> FigureOutput:
     ablation shows the detection delay adds roughly additively and does
     not change which scheme wins.
     """
-    low = profile.mrai_three[0]
-    schemes = [
-        (
-            f"hold={detection:g}s",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low),
-                detection_delay=detection,
-                detection_jitter=detection * 0.25,
-            ),
-        )
-        for detection in (0.0, 1.0, 3.0)
-    ]
-    series = _sweep_schemes(profile, schemes)
+    series = list(scheme_set_failure_sweep("ab_detection_delay", profile))
     instant, one_second, three_seconds = series
     f_small = profile.smallest_fraction
     checks = [
@@ -538,26 +352,7 @@ def compute_flap_damping(profile: ScaleProfile) -> FigureOutput:
     at all, which is what the strict check pins down.  Damping half-life
     is scaled to the simulation's seconds-scale dynamics.
     """
-    from repro.bgp.damping import DampingConfig
-
-    low = profile.mrai_three[0]
-    schemes = [
-        ("no damping", ExperimentSpec(mrai=ConstantMRAI(low))),
-        (
-            "flap damping",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low),
-                damping=DampingConfig(half_life=4.0),
-            ),
-        ),
-        (
-            "batching",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low), queue_discipline="dest_batch"
-            ),
-        ),
-    ]
-    series = _sweep_schemes(profile, schemes)
+    series = list(scheme_set_failure_sweep("ab_flap_damping", profile))
     plain, damped, batching = series
     f_large = profile.largest_fraction
     checks = [
@@ -597,35 +392,18 @@ def compute_policy_routing(profile: ScaleProfile) -> FigureOutput:
     consistent; relationships are inferred hierarchically, which keeps
     valley-free reachability complete and the comparison apples-to-apples.
     """
-    from repro.bgp.policy import (
-        GaoRexfordPolicy,
-        infer_relationships_hierarchical,
-    )
-    from repro.core.sweep import failure_size_sweep
-
+    # The topology is pinned so the inferred relationships stay valid for
+    # every trial; the scheme set's inferred-policy block resolves
+    # against the same pinned topology.
     fixed_topology = skewed_factory(profile)(profile.seeds[0])
-    relationships = infer_relationships_hierarchical(fixed_topology)
-    low = profile.mrai_three[0]
-    schemes = [
-        ("no policy (paper)", ExperimentSpec(mrai=ConstantMRAI(low))),
-        (
-            "Gao-Rexford",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low),
-                policy=GaoRexfordPolicy(relationships),
-            ),
-        ),
-    ]
-    series = [
-        failure_size_sweep(
-            lambda seed: fixed_topology,
-            spec,
-            profile.fractions,
-            profile.seeds,
-            label=label,
+    series = list(
+        scheme_set_failure_sweep(
+            "ab_policy_routing",
+            profile,
+            factory=lambda seed: fixed_topology,
+            topology=fixed_topology,
         )
-        for label, spec in schemes
-    ]
+    )
     unrestricted, policied = series
     f_large = profile.largest_fraction
     checks = [

@@ -26,8 +26,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.report import format_figure
-from repro.core.experiment import ExperimentSpec
 from repro.core.sweep import Series, failure_size_sweep, mrai_sweep
+from repro.specs import build_spec, scheme_set_specs
 from repro.topology.degree import SkewedDegreeSpec
 from repro.topology.graph import Topology
 from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
@@ -211,65 +211,47 @@ def check_le(
 # ---------------------------------------------------------------------------
 # Shared (memoized) sweeps — several figures reuse the same computation
 # ---------------------------------------------------------------------------
+def scheme_set_failure_sweep(
+    name: str,
+    profile: ScaleProfile,
+    factory: Callable[[int], Topology] | None = None,
+    fractions: Sequence[float] | None = None,
+    topology: Topology | None = None,
+) -> Tuple[Series, ...]:
+    """Failure-size sweep of a registered scheme set, one series per
+    scheme, labels taken from the set declaration.
+
+    ``topology`` is only needed for sets with topology-resolved schemes
+    (adaptive/theory MRAI, inferred policy relationships).
+    """
+    factory = factory if factory is not None else skewed_factory(profile)
+    specs = scheme_set_specs(name, profile, topology=topology)
+    return tuple(
+        failure_size_sweep(
+            factory,
+            spec,
+            tuple(fractions) if fractions is not None else profile.fractions,
+            profile.seeds,
+            label=label,
+        )
+        for label, spec in specs
+    )
+
+
 @functools.lru_cache(maxsize=None)
 def three_mrai_failure_sweep(profile: ScaleProfile) -> Tuple[Series, ...]:
     """Delay+messages vs failure size for the three headline MRAIs.
 
-    Shared by Fig 1 (delay) and Fig 2 (messages).
+    Shared by Fig 1 (delay) and Fig 2 (messages); the scheme list is the
+    registered ``mrai_three`` set.
     """
-    factory = skewed_factory(profile)
-    out = []
-    for mrai_value in profile.mrai_three:
-        from repro.bgp.mrai import ConstantMRAI
-
-        spec = ExperimentSpec(mrai=ConstantMRAI(mrai_value))
-        out.append(
-            failure_size_sweep(
-                factory,
-                spec,
-                profile.fractions,
-                profile.seeds,
-                label=f"MRAI={mrai_value:g}s",
-            )
-        )
-    return tuple(out)
+    return scheme_set_failure_sweep("mrai_three", profile)
 
 
 @functools.lru_cache(maxsize=None)
 def batching_scheme_sweep(profile: ScaleProfile) -> Tuple[Series, ...]:
     """Delay+messages vs failure size for the Fig 10/11 scheme set."""
-    from repro.bgp.mrai import ConstantMRAI
-    from repro.core.dynamic_mrai import DynamicMRAI
-
-    factory = skewed_factory(profile)
-    low, __, high = profile.mrai_three
-    schemes = [
-        (f"MRAI={low:g}s", ExperimentSpec(mrai=ConstantMRAI(low))),
-        (f"MRAI={high:g}s", ExperimentSpec(mrai=ConstantMRAI(high))),
-        (
-            "dynamic",
-            ExperimentSpec(mrai=DynamicMRAI(levels=profile.dynamic_levels)),
-        ),
-        (
-            "batching",
-            ExperimentSpec(
-                mrai=ConstantMRAI(low), queue_discipline="dest_batch"
-            ),
-        ),
-        (
-            "batch+dynamic",
-            ExperimentSpec(
-                mrai=DynamicMRAI(levels=profile.dynamic_levels),
-                queue_discipline="dest_batch",
-            ),
-        ),
-    ]
-    return tuple(
-        failure_size_sweep(
-            factory, spec, profile.fractions, profile.seeds, label=label
-        )
-        for label, spec in schemes
-    )
+    return scheme_set_failure_sweep("batching", profile)
 
 
 def series_for_mrai_grid(
@@ -281,8 +263,8 @@ def series_for_mrai_grid(
     grid: Sequence[float] | None = None,
 ) -> Series:
     """One delay-vs-MRAI curve at a fixed failure size."""
-    spec = ExperimentSpec(
-        failure_fraction=fraction, queue_discipline=queue_discipline
+    spec = build_spec(
+        {"failure_fraction": fraction, "queue": queue_discipline}
     )
     return mrai_sweep(
         factory,

@@ -9,7 +9,6 @@ high-degree nodes receive the most messages and overload first.
 from __future__ import annotations
 
 from repro.analysis.shapes import optimal_x
-from repro.core.experiment import ExperimentSpec
 from repro.core.sweep import mrai_sweep
 from repro.figures.common import (
     Check,
@@ -17,26 +16,23 @@ from repro.figures.common import (
     ScaleProfile,
     skewed_factory,
 )
-from repro.topology.degree import SkewedDegreeSpec
+from repro.specs import build_spec, distribution_spec
 
 FIGURE_ID = "fig04"
 CAPTION = "Delay vs MRAI at 5% failure for 50-50 / 70-30 / 85-15"
 
-DISTRIBUTIONS = (
-    ("50-50", SkewedDegreeSpec.paper_50_50),
-    ("70-30", SkewedDegreeSpec.paper_70_30),
-    ("85-15", SkewedDegreeSpec.paper_85_15),
-)
+#: Named distributions compared, resolved via the repro.specs table.
+DISTRIBUTIONS = ("50-50", "70-30", "85-15")
 
 
 def compute(profile: ScaleProfile) -> FigureOutput:
     series = []
-    for label, spec_factory in DISTRIBUTIONS:
-        factory = skewed_factory(profile, spec_factory())
+    for label in DISTRIBUTIONS:
+        factory = skewed_factory(profile, distribution_spec(label))
         series.append(
             mrai_sweep(
                 factory,
-                ExperimentSpec(failure_fraction=0.05),
+                build_spec({"failure_fraction": 0.05}),
                 profile.mrai_grid,
                 profile.seeds,
                 label=label,

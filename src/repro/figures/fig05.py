@@ -11,7 +11,6 @@ explored.
 from __future__ import annotations
 
 from repro.analysis.shapes import optimal_x
-from repro.core.experiment import ExperimentSpec
 from repro.core.sweep import mrai_sweep
 from repro.figures.common import (
     Check,
@@ -19,7 +18,7 @@ from repro.figures.common import (
     ScaleProfile,
     skewed_factory,
 )
-from repro.topology.degree import SkewedDegreeSpec
+from repro.specs import build_spec, distribution_spec
 
 FIGURE_ID = "fig05"
 CAPTION = "Delay vs MRAI at 5% failure: avg degree 3.8 vs 7.6 (50-50)"
@@ -27,15 +26,15 @@ CAPTION = "Delay vs MRAI at 5% failure: avg degree 3.8 vs 7.6 (50-50)"
 
 def compute(profile: ScaleProfile) -> FigureOutput:
     series = []
-    for label, spec in (
-        ("avg degree 3.8", SkewedDegreeSpec.paper_50_50()),
-        ("avg degree 7.6", SkewedDegreeSpec.paper_50_50_dense()),
+    for label, dist_name in (
+        ("avg degree 3.8", "50-50"),
+        ("avg degree 7.6", "50-50-dense"),
     ):
-        factory = skewed_factory(profile, spec)
+        factory = skewed_factory(profile, distribution_spec(dist_name))
         series.append(
             mrai_sweep(
                 factory,
-                ExperimentSpec(failure_fraction=0.05),
+                build_spec({"failure_fraction": 0.05}),
                 profile.mrai_grid,
                 profile.seeds,
                 label=label,

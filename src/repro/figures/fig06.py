@@ -10,43 +10,20 @@ convergence is governed by the high-degree nodes.
 
 from __future__ import annotations
 
-from repro.core.degree_mrai import DegreeDependentMRAI
-from repro.core.experiment import ExperimentSpec
-from repro.core.sweep import failure_size_sweep
 from repro.figures.common import (
     FigureOutput,
     ScaleProfile,
     check_le,
     check_ratio,
-    skewed_factory,
+    scheme_set_failure_sweep,
 )
-from repro.bgp.mrai import ConstantMRAI
 
 FIGURE_ID = "fig06"
 CAPTION = "Degree-dependent MRAI vs constants (70-30 topology)"
 
 
 def compute(profile: ScaleProfile) -> FigureOutput:
-    factory = skewed_factory(profile)
-    low, __, high = profile.mrai_three
-    schemes = [
-        (f"MRAI={low:g}s", ExperimentSpec(mrai=ConstantMRAI(low))),
-        (f"MRAI={high:g}s", ExperimentSpec(mrai=ConstantMRAI(high))),
-        (
-            f"low {low:g}, high {high:g}",
-            ExperimentSpec(mrai=DegreeDependentMRAI(low, high)),
-        ),
-        (
-            f"low {high:g}, high {low:g}",
-            ExperimentSpec(mrai=DegreeDependentMRAI(high, low)),
-        ),
-    ]
-    series = [
-        failure_size_sweep(
-            factory, spec, profile.fractions, profile.seeds, label=label
-        )
-        for label, spec in schemes
-    ]
+    series = list(scheme_set_failure_sweep("degree_mrai", profile))
     const_low, const_high, good, reversed_ = series
     f_small = profile.smallest_fraction
     f_large = profile.largest_fraction

@@ -10,15 +10,11 @@ whole range.
 
 from __future__ import annotations
 
-from repro.bgp.mrai import ConstantMRAI
-from repro.core.dynamic_mrai import DynamicMRAI
-from repro.core.experiment import ExperimentSpec
-from repro.core.sweep import failure_size_sweep
 from repro.figures.common import (
     FigureOutput,
     ScaleProfile,
     check_le,
-    skewed_factory,
+    scheme_set_failure_sweep,
 )
 
 FIGURE_ID = "fig07"
@@ -26,23 +22,7 @@ CAPTION = "Dynamic MRAI vs constant MRAIs (70-30 topology)"
 
 
 def compute(profile: ScaleProfile) -> FigureOutput:
-    factory = skewed_factory(profile)
-    schemes = [
-        (f"MRAI={v:g}s", ExperimentSpec(mrai=ConstantMRAI(v)))
-        for v in profile.mrai_three
-    ]
-    schemes.append(
-        (
-            "dynamic",
-            ExperimentSpec(mrai=DynamicMRAI(levels=profile.dynamic_levels)),
-        )
-    )
-    series = [
-        failure_size_sweep(
-            factory, spec, profile.fractions, profile.seeds, label=label
-        )
-        for label, spec in schemes
-    ]
+    series = list(scheme_set_failure_sweep("dynamic_vs_constant", profile))
     const_low, const_mid, const_high, dynamic = series
     f_small = profile.smallest_fraction
     f_large = profile.largest_fraction

@@ -9,38 +9,22 @@ large-failure ones; results are good over a *range* of values (0.65 vs
 
 from __future__ import annotations
 
-from repro.core.dynamic_mrai import DynamicMRAI
-from repro.core.experiment import ExperimentSpec
-from repro.core.sweep import failure_size_sweep
 from repro.figures.common import (
     Check,
     FigureOutput,
     ScaleProfile,
-    skewed_factory,
+    scheme_set_failure_sweep,
 )
 
 FIGURE_ID = "fig08"
 CAPTION = "Dynamic MRAI: sensitivity to upTh (downTh=0)"
 
+#: Swept values; the scheme list itself is the 'dynamic_up_th' set.
 UP_THRESHOLDS = (0.05, 0.65, 1.25)
 
 
 def compute(profile: ScaleProfile) -> FigureOutput:
-    factory = skewed_factory(profile)
-    series = [
-        failure_size_sweep(
-            factory,
-            ExperimentSpec(
-                mrai=DynamicMRAI(
-                    levels=profile.dynamic_levels, up_th=up, down_th=0.0
-                )
-            ),
-            profile.fractions,
-            profile.seeds,
-            label=f"upTh={up:g}s",
-        )
-        for up in UP_THRESHOLDS
-    ]
+    series = list(scheme_set_failure_sweep("dynamic_up_th", profile))
     lowest, middle, highest = series
     f_small = profile.smallest_fraction
     f_large = profile.largest_fraction

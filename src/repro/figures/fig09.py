@@ -7,38 +7,22 @@ similar over a range of values.
 
 from __future__ import annotations
 
-from repro.core.dynamic_mrai import DynamicMRAI
-from repro.core.experiment import ExperimentSpec
-from repro.core.sweep import failure_size_sweep
 from repro.figures.common import (
     Check,
     FigureOutput,
     ScaleProfile,
-    skewed_factory,
+    scheme_set_failure_sweep,
 )
 
 FIGURE_ID = "fig09"
 CAPTION = "Dynamic MRAI: sensitivity to downTh (upTh=0.65)"
 
+#: Swept values; the scheme list itself is the 'dynamic_down_th' set.
 DOWN_THRESHOLDS = (0.0, 0.05, 0.30)
 
 
 def compute(profile: ScaleProfile) -> FigureOutput:
-    factory = skewed_factory(profile)
-    series = [
-        failure_size_sweep(
-            factory,
-            ExperimentSpec(
-                mrai=DynamicMRAI(
-                    levels=profile.dynamic_levels, up_th=0.65, down_th=down
-                )
-            ),
-            profile.fractions,
-            profile.seeds,
-            label=f"downTh={down:g}s",
-        )
-        for down in DOWN_THRESHOLDS
-    ]
+    series = list(scheme_set_failure_sweep("dynamic_down_th", profile))
     zero, paper_value, high = series
     f_large = profile.largest_fraction
     checks = [

@@ -13,56 +13,31 @@ out at 3.5 s rather than 2.25 s.
 
 from __future__ import annotations
 
-from repro.bgp.mrai import ConstantMRAI
-from repro.core.dynamic_mrai import DynamicMRAI
-from repro.core.experiment import ExperimentSpec
-from repro.core.sweep import failure_size_sweep
 from repro.figures.common import (
     FigureOutput,
     ScaleProfile,
     check_le,
     multirouter_factory,
+    scheme_set_failure_sweep,
 )
+from repro.specs.scheme_sets import REALISTIC_LEVELS  # noqa: F401 (re-export)
 
 FIGURE_ID = "fig13"
 CAPTION = "Batching & dynamic MRAI on multi-router / Internet-derived topologies"
 
-#: The per-failure-size optima the paper reports for these topologies.
-REALISTIC_LEVELS = (0.5, 1.25, 3.5)
-
 
 def compute(profile: ScaleProfile) -> FigureOutput:
-    factory = multirouter_factory(profile)
     # Failure sizes up to the profile maximum: the realistic topologies
     # only show overload once several ASes' worth of routers disappear.
     fractions = (0.05, 0.10, profile.largest_fraction)
-    schemes = [
-        ("MRAI=0.5s", ExperimentSpec(mrai=ConstantMRAI(0.5))),
-        ("MRAI=3.5s", ExperimentSpec(mrai=ConstantMRAI(3.5))),
-        (
-            "dynamic",
-            ExperimentSpec(mrai=DynamicMRAI(levels=REALISTIC_LEVELS)),
-        ),
-        (
-            "batching",
-            ExperimentSpec(
-                mrai=ConstantMRAI(0.5), queue_discipline="dest_batch"
-            ),
-        ),
-        (
-            "batch+dynamic",
-            ExperimentSpec(
-                mrai=DynamicMRAI(levels=REALISTIC_LEVELS),
-                queue_discipline="dest_batch",
-            ),
-        ),
-    ]
-    series = [
-        failure_size_sweep(
-            factory, spec, fractions, profile.seeds, label=label
+    series = list(
+        scheme_set_failure_sweep(
+            "realistic",
+            profile,
+            factory=multirouter_factory(profile),
+            fractions=fractions,
         )
-        for label, spec in schemes
-    ]
+    )
     const_low, const_high, dynamic, batching, combined = series
     f_small = fractions[0]
     f_large = fractions[-1]

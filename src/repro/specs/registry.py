@@ -1,0 +1,64 @@
+"""A tiny named-builder registry shared by every spec kind.
+
+Each declarative concept (MRAI scheme, queue discipline, routing-policy
+block, topology kind, degree distribution, figure scheme set) keeps its
+entries in one :class:`Registry`.  Registering a new entry is the *only*
+step needed to make a new scheme usable from the CLI, campaign files and
+the figure harness — the consumers all resolve names through here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+
+class Registry:
+    """Name -> entry mapping with uniform unknown-name errors.
+
+    ``kind`` is the phrase used in error messages (``"mrai_scheme"``,
+    ``"topology kind"``, ...), chosen so existing pinned messages like
+    ``unknown mrai_scheme 'quantum'`` keep their exact prefix.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+
+    def register(
+        self, name: str, entry: Any, *, replace: bool = False
+    ) -> Any:
+        """Add ``entry`` under ``name``; re-registration must be explicit."""
+        if not replace and name in self._entries:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (mainly for tests registering throwaways)."""
+        if name not in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is not registered")
+        del self._entries[name]
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; "
+                f"choose from {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,266 @@
+"""Round-trip serialization between scheme dicts and ExperimentSpec.
+
+The *scheme dict* is the repo's one declarative experiment description:
+the flat JSON object campaign files put under ``"schemes"``, the CLI
+builds from its flags, and the figure harness declares its scheme sets
+in.  :func:`build_spec` turns a (possibly sparse) scheme dict into an
+:class:`~repro.core.experiment.ExperimentSpec`; :func:`spec_to_dict`
+emits the fully explicit dict for a spec, such that
+
+    spec_from_dict(spec.to_dict()) == spec
+
+holds for every spec whose policies are registry-serializable.  The
+explicit dict is also the canonical form the content-addressed store
+fingerprints (:mod:`repro.store.hashing`), so the manifest records the
+full declarative spec and two construction paths that mean the same
+experiment share cache entries.
+
+Validation is typo-rejecting at every level: unknown scheme keys,
+parameters that do not belong to the selected ``mrai_scheme``, malformed
+``levels``/``calibration`` tables, unknown queue disciplines and bad
+damping/policy blocks all fail at parse time with per-field messages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.bgp.mrai import ConstantMRAI
+from repro.core.experiment import ExperimentSpec
+from repro.specs.blocks import (
+    build_damping,
+    build_policy,
+    check_queue_discipline,
+    damping_to_block,
+    policy_needs_topology,
+    policy_to_block,
+    validate_policy_block,
+)
+from repro.specs.mrai import (
+    MRAI_SCHEMES,
+    build_mrai,
+    mrai_scheme_params,
+    mrai_to_scheme,
+    scheme_needs_topology as _mrai_needs_topology,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.graph import Topology
+
+
+class SpecSerializationError(ValueError):
+    """A spec cannot be expressed as a declarative dict.
+
+    Raised by :func:`spec_to_dict` when a policy object's class has no
+    registered serializer; the store then falls back to the structural
+    object encoding so such specs remain cacheable (under a key private
+    to that class) even though they cannot go in a campaign file.
+    """
+
+
+def _bool(value: Any, key: str) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(f"{key} must be true or false, got {value!r}")
+    return value
+
+
+def _float(value: Any, key: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{key} must be a number, got {value!r}")
+    return float(value)
+
+
+def _int(value: Any, key: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{key} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _pair(value: Any, key: str) -> Tuple[float, float]:
+    try:
+        lo, hi = value
+        return (float(lo), float(hi))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{key} must be a [min, max] pair of numbers, got {value!r}"
+        ) from None
+
+
+#: Spec-level scheme keys: scheme-dict key -> (ExperimentSpec field,
+#: decoder).  MRAI parameters are contributed by the scheme registry.
+_SPEC_FIELDS = {
+    "queue": (
+        "queue_discipline",
+        lambda v: check_queue_discipline(str(v)),
+    ),
+    "tcp_batch_size": ("tcp_batch_size", lambda v: _int(v, "tcp_batch_size")),
+    "failure_fraction": (
+        "failure_fraction",
+        lambda v: _float(v, "failure_fraction"),
+    ),
+    "failure_kind": ("failure_kind", str),
+    "failure_center": (
+        "failure_center",
+        lambda v: None if v is None else _pair(v, "failure_center"),
+    ),
+    "processing_delay_range": (
+        "processing_delay_range",
+        lambda v: _pair(v, "processing_delay_range"),
+    ),
+    "withdrawal_rate_limiting": (
+        "withdrawal_rate_limiting",
+        lambda v: _bool(v, "withdrawal_rate_limiting"),
+    ),
+    "sender_side_loop_detection": (
+        "sender_side_loop_detection",
+        lambda v: _bool(v, "sender_side_loop_detection"),
+    ),
+    "per_destination_mrai": (
+        "per_destination_mrai",
+        lambda v: _bool(v, "per_destination_mrai"),
+    ),
+    "detection_delay": (
+        "detection_delay",
+        lambda v: _float(v, "detection_delay"),
+    ),
+    "detection_jitter": (
+        "detection_jitter",
+        lambda v: _float(v, "detection_jitter"),
+    ),
+    "max_convergence_time": (
+        "max_convergence_time",
+        lambda v: _float(v, "max_convergence_time"),
+    ),
+    "max_warmup_time": (
+        "max_warmup_time",
+        lambda v: _float(v, "max_warmup_time"),
+    ),
+    "validate": ("validate", lambda v: _bool(v, "validate")),
+}
+
+
+def scheme_keys() -> frozenset:
+    """Every key a scheme dict may contain (registry-derived)."""
+    return (
+        frozenset({"mrai_scheme", "damping", "policy"})
+        | mrai_scheme_params()
+        | frozenset(_SPEC_FIELDS)
+    )
+
+
+def scheme_requires_topology(scheme: Dict[str, Any]) -> bool:
+    """Whether :func:`build_spec` needs a topology for this scheme."""
+    if _mrai_needs_topology(scheme):
+        return True
+    return policy_needs_topology(scheme.get("policy"))
+
+
+def validate_scheme(scheme: Dict[str, Any]) -> None:
+    """Parse-time validation of a scheme dict, without a topology.
+
+    Runs every check :func:`build_spec` would — unknown keys, per-field
+    parameter messages, spec-level constraints — but skips resolving the
+    topology-dependent pieces (adaptive/theory policies, inferred
+    relationships), so campaign files validate instantly.
+    """
+    _build(scheme, topology=None, resolve=False)
+
+
+def build_spec(
+    scheme: Dict[str, Any], topology: Optional["Topology"] = None
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` from a declarative scheme dictionary.
+
+    ``mrai_scheme`` selects a registered MRAI scheme (default
+    ``constant``) whose parameters ride alongside; the remaining keys
+    set spec-level fields (``queue``, ``failure_fraction``, ``damping``,
+    ``policy``, ...).  Unknown keys — and parameters that belong to a
+    *different* mrai_scheme — are errors: typos must not silently
+    produce a differently-hashed spec.  Schemes that resolve against the
+    network (``adaptive``/``theory`` MRAI, inferred Gao-Rexford
+    relationships) need ``topology``.
+    """
+    return _build(scheme, topology=topology, resolve=True)
+
+
+#: Alias making the round-trip contract explicit at call sites.
+spec_from_dict = build_spec
+
+
+def _build(
+    scheme: Dict[str, Any],
+    topology: Optional["Topology"],
+    resolve: bool,
+) -> ExperimentSpec:
+    known = scheme_keys()
+    unknown = set(scheme) - known
+    if unknown:
+        raise ValueError(
+            f"unknown scheme keys {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    kind = scheme.get("mrai_scheme", "constant")
+    entry = MRAI_SCHEMES.get(kind)  # raises "unknown mrai_scheme ..."
+    foreign = (set(scheme) & mrai_scheme_params()) - set(entry.params)
+    if foreign:
+        raise ValueError(
+            f"scheme keys {sorted(foreign)} are not parameters of "
+            f"mrai_scheme {kind!r} (its parameters: {sorted(entry.params)})"
+        )
+    if resolve or not _mrai_needs_topology(scheme):
+        mrai = build_mrai(scheme, topology)
+    else:
+        # Validation-only path: the parameters were parsed (and hence
+        # checked) by _mrai_needs_topology; stand in a constant policy
+        # so the spec-level checks below still run.
+        mrai = ConstantMRAI(0.5)
+
+    spec_kwargs: Dict[str, Any] = {"mrai": mrai}
+    for key, (field_name, decode) in _SPEC_FIELDS.items():
+        if key in scheme:
+            spec_kwargs[field_name] = decode(scheme[key])
+    if scheme.get("damping") is not None:
+        spec_kwargs["damping"] = build_damping(scheme["damping"])
+    if scheme.get("policy") is not None:
+        block = scheme["policy"]
+        validate_policy_block(block)
+        if resolve or not policy_needs_topology(block):
+            spec_kwargs["policy"] = build_policy(block, topology)
+    # ExperimentSpec.__post_init__ validates the cross-field constraints
+    # (failure_fraction range, failure_kind, detection delays).
+    return ExperimentSpec(**spec_kwargs)
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The fully explicit declarative dict for ``spec``.
+
+    Every field is present (defaults included), so the dict doubles as
+    the canonical fingerprint form for the content-addressed store —
+    and ``spec_from_dict`` of the result reproduces an equal spec.
+    Raises :class:`SpecSerializationError` when the spec's MRAI or
+    routing policy is not registry-serializable.
+    """
+    out: Dict[str, Any] = dict(mrai_to_scheme(spec.mrai))
+    out["queue"] = spec.queue_discipline
+    out["tcp_batch_size"] = spec.tcp_batch_size
+    out["failure_fraction"] = spec.failure_fraction
+    out["failure_kind"] = spec.failure_kind
+    out["failure_center"] = (
+        None if spec.failure_center is None else list(spec.failure_center)
+    )
+    out["processing_delay_range"] = list(spec.processing_delay_range)
+    out["withdrawal_rate_limiting"] = spec.withdrawal_rate_limiting
+    out["sender_side_loop_detection"] = spec.sender_side_loop_detection
+    out["per_destination_mrai"] = spec.per_destination_mrai
+    out["damping"] = (
+        None if spec.damping is None else damping_to_block(spec.damping)
+    )
+    out["policy"] = (
+        None if spec.policy is None else policy_to_block(spec.policy)
+    )
+    out["detection_delay"] = spec.detection_delay
+    out["detection_jitter"] = spec.detection_jitter
+    out["max_convergence_time"] = spec.max_convergence_time
+    out["max_warmup_time"] = spec.max_warmup_time
+    out["validate"] = spec.validate
+    return out

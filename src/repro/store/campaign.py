@@ -40,8 +40,6 @@ from typing import (
 )
 
 from repro.bgp.mrai import ConstantMRAI
-from repro.core.degree_mrai import DegreeDependentMRAI
-from repro.core.dynamic_mrai import DynamicMRAI
 from repro.core.experiment import (
     ExperimentResult,
     ExperimentSpec,
@@ -57,49 +55,35 @@ from repro.core.parallel import (
 )
 from repro.core.sweep import Series
 from repro.obs.session import ObsSession, active_session
+from repro.specs.serialize import (
+    build_spec,
+    scheme_requires_topology,
+    validate_scheme,
+)
+from repro.specs.topology import (
+    DISTRIBUTIONS,
+    topology_factory as resolve_topology_block,
+)
 from repro.store.hashing import spec_fingerprint, spec_hash
 from repro.store.result_store import ResultStore, git_revision
-from repro.topology.degree import SkewedDegreeSpec
 from repro.topology.graph import Topology
-from repro.topology.internet import internet_like_topology
-from repro.topology.multirouter import MultiRouterSpec, multi_router_topology
-from repro.topology.skewed import skewed_topology
 
-#: Named degree distributions usable in campaign topology blocks (the
-#: same table the CLI's ``--distribution`` flag exposes).
-DISTRIBUTIONS: Dict[str, Callable[[], SkewedDegreeSpec]] = {
-    "70-30": SkewedDegreeSpec.paper_70_30,
-    "50-50": SkewedDegreeSpec.paper_50_50,
-    "85-15": SkewedDegreeSpec.paper_85_15,
-    "50-50-dense": SkewedDegreeSpec.paper_50_50_dense,
-}
+__all__ = [
+    "AXES",
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignTask",
+    "DISTRIBUTIONS",  # re-exported from repro.specs for compatibility
+    "RetryPolicy",
+    "build_spec",  # re-exported from repro.specs for compatibility
+    "campaign_status",
+    "load_campaign_results",
+    "run_campaign",
+]
 
 #: Axes a campaign can sweep, mapped to how a point spec is derived.
 AXES = ("failure_fraction", "mrai")
-
-#: Scheme-dict keys understood by :func:`build_spec`.
-_SCHEME_KEYS = frozenset(
-    {
-        "mrai_scheme",
-        "mrai",
-        "mrai_low",
-        "mrai_high",
-        "degree_threshold",
-        "levels",
-        "up_th",
-        "down_th",
-        "monitor",
-        "queue",
-        "tcp_batch_size",
-        "failure_kind",
-        "failure_fraction",
-        "detection_delay",
-        "detection_jitter",
-        "withdrawal_rate_limiting",
-        "sender_side_loop_detection",
-        "per_destination_mrai",
-    }
-)
 
 
 class CampaignError(RuntimeError):
@@ -141,63 +125,6 @@ class CampaignTask:
     spec: ExperimentSpec
 
 
-def build_spec(scheme: Dict[str, Any]) -> ExperimentSpec:
-    """An :class:`ExperimentSpec` from a declarative scheme dictionary.
-
-    Supported keys: ``mrai_scheme`` (``constant``/``degree``/``dynamic``,
-    default constant) with its parameters (``mrai``, ``mrai_low``/
-    ``mrai_high``/``degree_threshold``, ``levels``/``up_th``/``down_th``/
-    ``monitor``), plus ``queue``, ``tcp_batch_size``, ``failure_kind``,
-    ``failure_fraction``, ``detection_delay``/``detection_jitter`` and
-    the boolean toggles.  Unknown keys are an error — typos must not
-    silently produce a differently-hashed spec.
-    """
-    unknown = set(scheme) - _SCHEME_KEYS
-    if unknown:
-        raise ValueError(
-            f"unknown scheme keys {sorted(unknown)}; "
-            f"known: {sorted(_SCHEME_KEYS)}"
-        )
-    kind = scheme.get("mrai_scheme", "constant")
-    if kind == "constant":
-        mrai = ConstantMRAI(float(scheme.get("mrai", 0.5)))
-    elif kind == "degree":
-        mrai = DegreeDependentMRAI(
-            float(scheme.get("mrai_low", 0.5)),
-            float(scheme.get("mrai_high", 2.25)),
-            degree_threshold=int(scheme.get("degree_threshold", 4)),
-        )
-    elif kind == "dynamic":
-        kwargs: Dict[str, Any] = {}
-        if "levels" in scheme:
-            kwargs["levels"] = tuple(float(v) for v in scheme["levels"])
-        if "up_th" in scheme:
-            kwargs["up_th"] = float(scheme["up_th"])
-        if "down_th" in scheme:
-            kwargs["down_th"] = float(scheme["down_th"])
-        if "monitor" in scheme:
-            kwargs["monitor"] = str(scheme["monitor"])
-        mrai = DynamicMRAI(**kwargs)
-    else:
-        raise ValueError(f"unknown mrai_scheme {kind!r}")
-    spec_kwargs: Dict[str, Any] = {"mrai": mrai}
-    if "queue" in scheme:
-        spec_kwargs["queue_discipline"] = str(scheme["queue"])
-    for key, cast in (
-        ("tcp_batch_size", int),
-        ("failure_kind", str),
-        ("failure_fraction", float),
-        ("detection_delay", float),
-        ("detection_jitter", float),
-        ("withdrawal_rate_limiting", bool),
-        ("sender_side_loop_detection", bool),
-        ("per_destination_mrai", bool),
-    ):
-        if key in scheme:
-            spec_kwargs[key] = cast(scheme[key])
-    return ExperimentSpec(**spec_kwargs)
-
-
 @dataclass
 class Campaign:
     """A declarative, store-backed sweep grid.
@@ -228,6 +155,14 @@ class Campaign:
             raise ValueError("a campaign needs at least one axis value")
         if not self.seeds:
             raise ValueError("a campaign needs at least one seed")
+        # Typo-rejecting parse of every scheme up front: a campaign file
+        # with a bad scheme fails here (and in `campaign validate`), not
+        # hours into the grid.  Topology-dependent pieces resolve later.
+        for label, scheme in self.schemes.items():
+            try:
+                validate_scheme(scheme)
+            except ValueError as exc:
+                raise ValueError(f"scheme {label!r}: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Declarative round-trip
@@ -291,26 +226,27 @@ class Campaign:
     # ------------------------------------------------------------------
     def topology_factory(self) -> Callable[[int], Topology]:
         """Per-seed topology builder from the parameter block."""
-        kind = self.topology.get("kind", "skewed")
-        nodes = int(self.topology.get("nodes", 60))
-        if kind == "skewed":
-            dist_name = self.topology.get("distribution", "70-30")
-            if dist_name not in DISTRIBUTIONS:
-                raise ValueError(
-                    f"unknown distribution {dist_name!r}; "
-                    f"choose from {sorted(DISTRIBUTIONS)}"
-                )
-            dist = DISTRIBUTIONS[dist_name]()
-            return lambda seed: skewed_topology(nodes, dist, seed=seed)
-        if kind == "internet":
-            return lambda seed: internet_like_topology(nodes, seed=seed)
-        if kind == "multirouter":
-            spec = MultiRouterSpec(num_ases=nodes)
-            return lambda seed: multi_router_topology(spec, seed=seed)
-        raise ValueError(f"unknown topology kind {kind!r}")
+        return resolve_topology_block(self.topology)
+
+    def _representative_topology(self) -> Topology:
+        """The seed[0] topology, built once per campaign instance.
+
+        Topology-resolved schemes (``adaptive``/``theory`` MRAI,
+        inferred policy relationships) are fixed against this topology,
+        so the resulting specs are deterministic — and hence cacheable
+        and resumable — across the whole grid.
+        """
+        topo = getattr(self, "_rep_topology", None)
+        if topo is None:
+            topo = self.topology_factory()(self.seeds[0])
+            self._rep_topology = topo
+        return topo
 
     def base_spec(self, label: str) -> ExperimentSpec:
-        return build_spec(self.schemes[label])
+        scheme = self.schemes[label]
+        if scheme_requires_topology(scheme):
+            return build_spec(scheme, topology=self._representative_topology())
+        return build_spec(scheme)
 
     def point_spec(self, label: str, x: float) -> ExperimentSpec:
         spec = self.base_spec(label)

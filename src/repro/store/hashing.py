@@ -36,7 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Version of the (simulation semantics, TrialResult schema) pair the
 #: hash binds to.  Bumping it invalidates every existing store entry.
-SCHEMA_VERSION = 1
+#: v2: specs fingerprint via their declarative dict (repro.specs), so
+#: equal-meaning construction paths share keys; see docs/STORAGE.md.
+SCHEMA_VERSION = 2
 
 #: BLAKE2b key namespacing trial-cache hashes (like the named random
 #: streams, the key makes collisions with other derivations impossible).
@@ -106,6 +108,26 @@ def topology_digest(topology: "Topology") -> str:
     ).hexdigest()
 
 
+def _spec_payload(spec: "ExperimentSpec") -> Any:
+    """The canonical encoding of a spec for fingerprinting.
+
+    Declaratively-expressible specs hash via their explicit scheme dict
+    (:func:`repro.specs.spec_to_dict`), so every construction path that
+    means the same experiment — CLI flags, a campaign file, a figure
+    scheme set, a theory ladder resolved to its dynamic levels — shares
+    one cache key, and the manifest's fingerprint records the full
+    declarative spec.  Specs carrying unregistered policy classes fall
+    back to the structural object encoding (a key private to that
+    class), staying cacheable without pretending to be declarative.
+    """
+    from repro.specs.serialize import SpecSerializationError, spec_to_dict
+
+    try:
+        return canonical(spec_to_dict(spec))
+    except SpecSerializationError:
+        return canonical(spec)
+
+
 def spec_fingerprint(
     spec: "ExperimentSpec", topology: "Topology", seed: int
 ) -> Dict[str, Any]:
@@ -113,7 +135,7 @@ def spec_fingerprint(
     return {
         "schema": SCHEMA_VERSION,
         "seed": seed,
-        "spec": canonical(spec),
+        "spec": _spec_payload(spec),
         "topology": topology_digest(topology),
     }
 

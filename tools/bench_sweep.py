@@ -93,6 +93,52 @@ def load_history(path: Path) -> List[Dict]:
     return []
 
 
+def serial_wall(record: Dict) -> float | None:
+    """The jobs=1 wall time of a benchmark record, if present."""
+    for row in record.get("runs", []):
+        if row.get("jobs") == 1:
+            wall = row.get("wall_seconds")
+            return float(wall) if isinstance(wall, (int, float)) else None
+    return None
+
+
+def check_regression(
+    history: List[Dict], record: Dict, threshold: float = 0.20
+) -> bool:
+    """Compare ``record`` against the last comparable history entry.
+
+    Comparable means same (nodes, fractions, seeds) — the workload, not
+    the host.  Returns True when the serial wall time regressed by more
+    than ``threshold`` (smoke runs treat that as a failure); prints the
+    verdict either way so the perf trajectory is visible in CI logs.
+    """
+    workload = ("nodes", "fractions", "seeds")
+    previous = next(
+        (
+            entry
+            for entry in reversed(history)
+            if all(entry.get(k) == record[k] for k in workload)
+            and serial_wall(entry) is not None
+        ),
+        None,
+    )
+    if previous is None:
+        print("perf: no comparable prior record; skipping regression check")
+        return False
+    before = serial_wall(previous)
+    after = serial_wall(record)
+    if after is None or not before:
+        print("perf: no serial baseline in this run; skipping check")
+        return False
+    delta = (after - before) / before
+    verdict = "REGRESSION" if delta > threshold else "ok"
+    print(
+        f"perf: serial wall {after:.2f}s vs {before:.2f}s last time "
+        f"({delta:+.1%}, threshold +{threshold:.0%}) — {verdict}"
+    )
+    return delta > threshold
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=60)
@@ -188,6 +234,7 @@ def main() -> int:
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     history = load_history(out)
+    regressed = check_regression(history, record)
     history.append(record)
     document = {"kind": "BENCH_sweep", "history": history}
     out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
@@ -195,6 +242,9 @@ def main() -> int:
 
     if not identical:
         print("ERROR: parallel results differ from the serial baseline")
+        return 1
+    if regressed and args.smoke:
+        print("ERROR: serial wall time regressed beyond the 20% budget")
         return 1
     return 0
 

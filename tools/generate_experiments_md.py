@@ -265,6 +265,9 @@ adds.  The paper's evaluation consists of 13 figures and no tables.
   240-node checks).  Each figure carries machine-checked *shape checks*
   encoding the paper's claims; `[PASS]` markers below are asserted by the
   benchmark suite (strict) or recorded (soft).
+* Every figure's scheme list is a registered *scheme set* of declarative
+  scheme dicts (`repro.specs`, see `docs/SPECS.md`), so each column
+  below can be re-run standalone from a campaign file or the CLI.
 * Full-scale (120-node) verification runs are recorded at the end.
 
 """
