@@ -86,11 +86,13 @@ def _make_obs_session(
     never see a truncated trailing record.
     """
     trace_out = getattr(args, "trace_out", None)
+    spans_out = getattr(args, "spans_out", None)
     wants_obs = (
         getattr(args, "metrics_out", None)
         or getattr(args, "profile", False)
         or getattr(args, "sample_interval", None) is not None
         or trace_out
+        or spans_out
     )
     if not wants_obs:
         return None
@@ -101,11 +103,20 @@ def _make_obs_session(
         from repro.sim.trace import jsonl_sink
 
         trace_sink = stack.enter_context(jsonl_sink(trace_out))
-    return ObsSession(
+    obs = ObsSession(
         sample_interval=args.sample_interval,
         profile=args.profile,
         trace_sink=trace_sink,
+        spans=bool(spans_out),
     )
+    if obs.span_recorder is not None:
+        # Install the recorder for the rest of the command so parent-side
+        # spans (seed derivation, store lookups, pool management) record
+        # even on paths that never enter observe().
+        from repro.obs.spans import record_spans
+
+        stack.enter_context(record_spans(obs.span_recorder))
+    return obs
 
 
 def _finish_obs(obs, args: argparse.Namespace, command: str) -> None:
@@ -117,9 +128,41 @@ def _finish_obs(obs, args: argparse.Namespace, command: str) -> None:
             print(f"wrote {path}", file=sys.stderr)
     if getattr(args, "trace_out", None):
         print(f"wrote {args.trace_out}", file=sys.stderr)
+    spans_out = getattr(args, "spans_out", None)
+    if spans_out and obs.span_recorder is not None:
+        path = obs.span_recorder.write_chrome_trace(spans_out)
+        print(f"wrote {path}", file=sys.stderr)
+        print()
+        print(obs.span_recorder.render_rollup())
     if args.profile and obs.profiler is not None:
         print()
         print(obs.profiler.render(top_k=10))
+
+
+def _make_live_monitor(
+    args: argparse.Namespace, stack: contextlib.ExitStack, obs, jobs: int
+):
+    """Install a LiveMonitor as the default progress hook when asked.
+
+    ``--progress`` renders the status line; ``--heartbeat PATH`` streams
+    one JSON line per tick (either flag alone activates the monitor —
+    heartbeat-only runs stay silent on the terminal).
+    """
+    progress = getattr(args, "progress", False)
+    heartbeat = getattr(args, "heartbeat", None)
+    if not progress and not heartbeat:
+        return None
+    from repro.obs.live import LiveMonitor, live_progress
+
+    monitor = LiveMonitor(
+        jobs=jobs,
+        session=obs,
+        stream=sys.stderr if progress else None,
+        heartbeat=heartbeat,
+    )
+    stack.enter_context(monitor)
+    stack.enter_context(live_progress(monitor))
+    return monitor
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -201,11 +244,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 return 2
             store = stack.enter_context(use_store(args.store))
         obs = _make_obs_session(args, stack)
+        monitor = _make_live_monitor(args, stack, obs, jobs=args.jobs)
         if obs is not None:
             from repro.obs.session import observe
+            from repro.obs.spans import span
 
             with observe(obs):
-                output = compute_figure(args.figure, scale=args.scale)
+                with span(
+                    "sweep.figure", figure=args.figure, scale=args.scale
+                ):
+                    output = compute_figure(args.figure, scale=args.scale)
             obs.finalize(
                 kind="repro-sweep",
                 command=f"sweep --figure {args.figure} --scale {args.scale}",
@@ -213,6 +261,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
         else:
             output = compute_figure(args.figure, scale=args.scale)
+        if monitor is not None:
+            monitor.finish()
         print(output.render())
         if args.export:
             from repro.analysis.export import figure_to_files
@@ -314,6 +364,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         return 2
     with contextlib.ExitStack() as stack:
         obs = _make_obs_session(args, stack)
+        monitor = _make_live_monitor(args, stack, obs, jobs=args.jobs)
         store = stack.enter_context(ResultStore(store_path))
         try:
             result = run_campaign(
@@ -329,6 +380,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 130
+        if monitor is not None:
+            monitor.finish()
         print(result.summary())
         for metric in ("delay", "messages"):
             unit = (
@@ -379,6 +432,47 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         status = campaign_status(campaign, store)
         print(status.render())
     return 0 if status.complete or not args.check else 1
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> int:
+    """Live view of a campaign: per-cell state + latest heartbeat.
+
+    One render by default; ``--follow`` re-renders every ``--interval``
+    seconds until the grid completes.  Exit status mirrors completeness
+    (0 complete, 1 in flight) so scripts can poll it.
+    """
+    import time as _time
+    from pathlib import Path
+
+    from repro.obs.live import watch_campaign
+    from repro.store.campaign import Campaign
+    from repro.store.result_store import ResultStore
+
+    campaign = Campaign.from_file(args.file)
+    store_path = _campaign_store_path(args, campaign)
+    if store_path is None:
+        print("no store: pass --store PATH or set 'store'", file=sys.stderr)
+        return 2
+    if not Path(store_path).exists():
+        print(
+            f"campaign {campaign.name}: store {store_path} does not exist "
+            f"yet (0/{campaign.total_trials} trials); start it with "
+            f"`campaign run`"
+        )
+        return 1
+    while True:
+        with ResultStore(store_path) as store:
+            output = watch_campaign(
+                campaign, store, heartbeat=args.heartbeat
+            )
+        print(output)
+        complete = output.splitlines()[-1] == "status: complete"
+        if complete:
+            return 0
+        if not args.follow:
+            return 1
+        _time.sleep(args.interval)
+        print()
 
 
 def cmd_campaign_export(args: argparse.Namespace) -> int:
@@ -498,6 +592,15 @@ def make_parser() -> argparse.ArgumentParser:
                 "as JSONL to PATH, for `repro-bgp trace analyze`"
             ),
         )
+        parser_.add_argument(
+            "--spans-out",
+            metavar="PATH",
+            help=(
+                "record hierarchical runtime spans; write a Chrome "
+                "trace-event JSON to PATH (load in Perfetto) and print "
+                "the rollup table (see docs/OBSERVABILITY.md)"
+            ),
+        )
 
     def add_topology_args(parser_):
         parser_.add_argument("--nodes", type=int, default=120)
@@ -573,6 +676,18 @@ def make_parser() -> argparse.ArgumentParser:
             "incremental"
         ),
     )
+    sweep_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live status line (done/cached/failed, hit rate, "
+        "worker utilization, ETA) on stderr",
+    )
+    sweep_p.add_argument(
+        "--heartbeat",
+        metavar="PATH",
+        help="append one JSON telemetry line per completed trial to PATH "
+        "(tail it, or point `campaign watch --heartbeat` at it)",
+    )
     add_obs_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
@@ -612,6 +727,17 @@ def make_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="also write the folded series as CSV/JSON into DIR",
         )
+        runner_p.add_argument(
+            "--progress",
+            action="store_true",
+            help="render a live status line on stderr",
+        )
+        runner_p.add_argument(
+            "--heartbeat",
+            metavar="PATH",
+            help="append one JSON telemetry line per completed trial to "
+            "PATH (`campaign watch --heartbeat PATH` reads it live)",
+        )
         add_obs_args(runner_p)
         runner_p.set_defaults(func=cmd_campaign_run)
 
@@ -637,6 +763,32 @@ def make_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every trial is cached",
     )
     status_p.set_defaults(func=cmd_campaign_status)
+
+    watch_p = campaign_sub.add_parser(
+        "watch",
+        help="live per-cell progress view (optionally following a "
+        "heartbeat file written by `campaign run --heartbeat`)",
+    )
+    add_campaign_common(watch_p)
+    watch_p.add_argument(
+        "--heartbeat",
+        metavar="PATH",
+        help="heartbeat JSONL written by a concurrent run --heartbeat; "
+        "shows its live utilization/ETA line",
+    )
+    watch_p.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render every --interval seconds until the grid completes",
+    )
+    watch_p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period for --follow (default 2s)",
+    )
+    watch_p.set_defaults(func=cmd_campaign_watch)
 
     export_p = campaign_sub.add_parser(
         "export",

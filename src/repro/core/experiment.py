@@ -31,7 +31,9 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.live import default_progress
 from repro.obs.session import ObsSession, active_session
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.parallel import TrialExecutor
@@ -271,6 +273,12 @@ class Progress:
     total: int
     elapsed: float
     label: str = ""
+    #: Cumulative simulation wall seconds of the trials completed so far
+    #: (what the workers were actually busy with) — the live monitor's
+    #: worker-utilization numerator and wall-time-based ETA input.
+    busy_seconds: float = 0.0
+    #: Trials that have failed at least one attempt (campaign retries).
+    failed: int = 0
 
     @property
     def fraction(self) -> float:
@@ -344,8 +352,9 @@ def run_experiment(
         obs.attach(network)
 
     wall0 = time.perf_counter()
-    network.start()
-    network.run_until_quiet(max_time=spec.max_warmup_time)
+    with span("trial.warmup", seed=seed):
+        network.start()
+        network.run_until_quiet(max_time=spec.max_warmup_time)
     warmup_wall = time.perf_counter() - wall0
     if not network.is_quiescent():
         raise RuntimeError(
@@ -365,17 +374,19 @@ def run_experiment(
     if scenario is None:
         scenario = build_scenario(topology, spec, seed)
     wall1 = time.perf_counter()
-    t0 = network.fail_nodes(
-        scenario.nodes,
-        detection_delay=spec.detection_delay,
-        detection_jitter=spec.detection_jitter,
-    )
+    with span("trial.failure"):
+        t0 = network.fail_nodes(
+            scenario.nodes,
+            detection_delay=spec.detection_delay,
+            detection_jitter=spec.detection_jitter,
+        )
     if obs is not None:
         obs.record_phase("failure", time.perf_counter() - wall1)
         obs.on_failure(network)
 
     wall2 = time.perf_counter()
-    network.run_until_quiet(max_time=t0 + spec.max_convergence_time)
+    with span("trial.convergence"):
+        network.run_until_quiet(max_time=t0 + spec.max_convergence_time)
     convergence_wall = time.perf_counter() - wall2
     truncated = not network.is_quiescent()
     if obs is not None:
@@ -460,6 +471,10 @@ def run_trials(
 
     if obs is None:
         obs = active_session()
+    if progress is None:
+        # The process-wide live monitor, if one is installed (this is
+        # how `sweep --progress` reaches sweeps inside the figures).
+        progress = default_progress()
     if store is None:
         from repro.store.result_store import default_store
 
@@ -469,13 +484,15 @@ def run_trials(
         if resolved_jobs <= 1:
             # Inline serial fast path: no task/payload round-trip, the
             # parent session observes every trial directly.
-            return _run_trials_inline(
-                topology_factory, spec, seeds, progress, obs, store
-            )
+            with span("trials.run", trials=len(seeds), jobs=1):
+                return _run_trials_inline(
+                    topology_factory, spec, seeds, progress, obs, store
+                )
         executor = make_executor(resolved_jobs)
-    return _run_trials_executor(
-        topology_factory, spec, seeds, progress, obs, executor, store
-    )
+    with span("trials.run", trials=len(seeds), jobs=executor.jobs):
+        return _run_trials_executor(
+            topology_factory, spec, seeds, progress, obs, executor, store
+        )
 
 
 def _run_trials_inline(
@@ -492,8 +509,10 @@ def _run_trials_inline(
     result = ExperimentResult(spec=spec)
     start = time.perf_counter()
     total = len(seeds)
+    busy = 0.0
     for done, seed in enumerate(seeds, start=1):
-        topology = topology_factory(seed)
+        with span("topology.build", seed=seed):
+            topology = topology_factory(seed)
         trial = None
         if store is not None:
             key = spec_hash(spec, topology, seed)
@@ -501,7 +520,9 @@ def _run_trials_inline(
             if obs is not None:
                 obs.note_cache(trial is not None)
         if trial is None:
-            trial = run_experiment(topology, spec, seed=seed, obs=obs)
+            with span("trial.execute", seed=seed):
+                trial = run_experiment(topology, spec, seed=seed, obs=obs)
+            busy += trial.warmup_wall + trial.convergence_wall
             if store is not None:
                 store.put(
                     key,
@@ -516,6 +537,7 @@ def _run_trials_inline(
                     total=total,
                     elapsed=time.perf_counter() - start,
                     label=spec.mrai.name,
+                    busy_seconds=busy,
                 )
             )
     return result
@@ -545,7 +567,8 @@ def _run_trials_executor(
     fingerprints: Dict[int, Dict[str, Any]] = {}
     tasks = []
     for index, seed in enumerate(seeds):
-        topology = topology_factory(seed)
+        with span("topology.build", seed=seed):
+            topology = topology_factory(seed)
         if store is not None:
             key = spec_hash(spec, topology, seed)
             keys[index] = key
@@ -576,18 +599,21 @@ def _run_trials_executor(
             )
         )
 
+    busy = 0.0
+
     def on_done(outcome) -> None:
         # Completion ticks arrive in completion order (not seed order);
         # the count is monotonic regardless.  Store writes happen here —
         # in the parent, as trials land — so an interrupt loses only the
         # trials still in flight.
-        nonlocal done_count
+        nonlocal done_count, busy
         index, trial, _payload = outcome
         if store is not None:
             store.put(
                 keys[index], trial, fingerprint=fingerprints.get(index)
             )
         done_count += 1
+        busy += trial.warmup_wall + trial.convergence_wall
         if progress is not None:
             progress(
                 Progress(
@@ -595,6 +621,7 @@ def _run_trials_executor(
                     total=total,
                     elapsed=time.perf_counter() - start,
                     label=spec.mrai.name,
+                    busy_seconds=busy,
                 )
             )
 
@@ -604,10 +631,12 @@ def _run_trials_executor(
         payloads[index] = payload
     # Fold in submission (seed) order: the accumulators then see the
     # exact sequence the serial path streams, bit for bit.
-    result = ExperimentResult(spec=spec)
-    for index, trial in enumerate(trials):
-        assert trial is not None
-        result.add(trial)
-        if obs is not None and payloads[index] is not None:
-            obs.absorb(payloads[index])
+    with span("trials.fold", trials=total):
+        result = ExperimentResult(spec=spec)
+        for index, trial in enumerate(trials):
+            assert trial is not None
+            result.add(trial)
+            if obs is not None and payloads[index] is not None:
+                with span("obs.absorb"):
+                    obs.absorb(payloads[index])
     return result

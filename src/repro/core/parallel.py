@@ -39,8 +39,9 @@ threading a parameter through thirteen figure modules::
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -54,6 +55,7 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.spans import record_spans, span
 from repro.sim.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -110,18 +112,19 @@ def derive_trial_seeds(
     """
     if count < 0:
         raise ValueError("count must be non-negative")
-    seeds: List[int] = []
-    seen = set()
-    index = 0
-    while len(seeds) < count:
-        # >> 1 keeps the seed in RandomStreams' non-negative range.
-        seed = derive_seed(master_seed, f"{name}:{index}") >> 1
-        index += 1
-        if seed in seen:
-            continue
-        seen.add(seed)
-        seeds.append(seed)
-    return seeds
+    with span("parallel.derive_seeds", count=count):
+        seeds: List[int] = []
+        seen = set()
+        index = 0
+        while len(seeds) < count:
+            # >> 1 keeps the seed in RandomStreams' non-negative range.
+            seed = derive_seed(master_seed, f"{name}:{index}") >> 1
+            index += 1
+            if seed in seen:
+                continue
+            seen.add(seed)
+            seeds.append(seed)
+        return seeds
 
 
 @dataclass(frozen=True)
@@ -171,11 +174,20 @@ def execute_trial(task: TrialTask) -> TrialOutcome:
     from repro.core.experiment import run_experiment
 
     obs = None
+    spans_ctx = nullcontext()
     if task.obs_config is not None:
         from repro.obs.session import ObsSession
 
         obs = ObsSession.for_worker(task.obs_config)
-    result = run_experiment(task.topology, task.spec, seed=task.seed, obs=obs)
+        if obs.span_recorder is not None:
+            # Worker-local span recording: the records ride home in the
+            # obs payload and the parent grafts them under "workers/".
+            spans_ctx = record_spans(obs.span_recorder)
+    with spans_ctx:
+        with span("trial.execute", index=task.index, seed=task.seed):
+            result = run_experiment(
+                task.topology, task.spec, seed=task.seed, obs=obs
+            )
     payload = obs.worker_payload() if obs is not None else None
     return task.index, result, payload
 
@@ -243,33 +255,52 @@ class ProcessExecutor(TrialExecutor):
             return []
         outcomes: List[Optional[TrialOutcome]] = [None] * len(tasks)
         workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_trial, task): (position, task)
-                for position, task in enumerate(tasks)
-            }
-            pending = set(futures)
+        pending: set = set()
+        with span(
+            "pool.run", jobs=workers, tasks=len(tasks)
+        ) as pool_span:
+            spinup_start = time.perf_counter()
+            pool = ProcessPoolExecutor(max_workers=workers)
+            pool_span.set(
+                spinup_seconds=round(
+                    time.perf_counter() - spinup_start, 6
+                )
+            )
             try:
-                while pending:
-                    done, pending = wait(
-                        pending, return_when=FIRST_EXCEPTION
-                    )
-                    for future in done:
-                        position, task = futures[future]
-                        try:
-                            outcome = future.result()
-                        except Exception as exc:
-                            raise TrialExecutionError(
-                                task.index, task.seed, exc
-                            ) from exc
-                        outcomes[position] = outcome
-                        if on_done is not None:
-                            on_done(outcome)
+                with span("pool.submit", tasks=len(tasks)):
+                    futures = {
+                        pool.submit(execute_trial, task): (position, task)
+                        for position, task in enumerate(tasks)
+                    }
+                    pending = set(futures)
+                with span("pool.collect", tasks=len(tasks)):
+                    while pending:
+                        done, pending = wait(
+                            pending, return_when=FIRST_EXCEPTION
+                        )
+                        for future in done:
+                            position, task = futures[future]
+                            try:
+                                outcome = future.result()
+                            except Exception as exc:
+                                raise TrialExecutionError(
+                                    task.index, task.seed, exc
+                                ) from exc
+                            outcomes[position] = outcome
+                            if on_done is not None:
+                                on_done(outcome)
             except BaseException:
+                # A worker raised (TrialExecutionError) or the caller
+                # interrupted: cancel what hasn't started and tear the
+                # pool down without waiting on stragglers.
                 for future in pending:
                     future.cancel()
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+            finally:
+                # Always reached — on the failure path this is a no-op
+                # second shutdown; on success it reaps the workers.
+                pool.shutdown(wait=True)
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 

@@ -22,6 +22,8 @@ from repro.core.experiment import (
     ProgressFn,
     run_trials,
 )
+from repro.obs.live import default_progress
+from repro.obs.spans import span
 from repro.topology.graph import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,11 +37,17 @@ def _sweep_reporter(
 
     ``run_trials`` reports done/total *within one point*; the closure
     returned here re-bases those ticks onto the whole sweep so the ETA
-    covers every remaining trial, not just the current point's.
+    covers every remaining trial, not just the current point's.  With no
+    explicit callback the process-wide default
+    (:func:`repro.obs.live.default_progress`, installed by ``sweep
+    --progress``) is used, so a whole figure harness reports sweep-wide
+    ticks without any figure module threading a parameter.
     """
     if progress is None:
+        progress = default_progress()
+    if progress is None:
         return None
-    state = {"done": 0}
+    state = {"done": 0, "busy_total": 0.0, "point_busy": 0.0}
     lock = threading.Lock()
     start = time.perf_counter()
 
@@ -50,12 +58,25 @@ def _sweep_reporter(
         # sweep total, instead of trusting the per-point tick.
         with lock:
             state["done"] = done = min(state["done"] + 1, total)
+            # Per-point busy_seconds is cumulative within a point and
+            # resets between points; fold the increments into a
+            # sweep-wide total (a decrease marks a new point's first
+            # tick).
+            if point_progress.busy_seconds >= state["point_busy"]:
+                state["busy_total"] += (
+                    point_progress.busy_seconds - state["point_busy"]
+                )
+            else:
+                state["busy_total"] += point_progress.busy_seconds
+            state["point_busy"] = point_progress.busy_seconds
             progress(
                 Progress(
                     done=done,
                     total=total,
                     elapsed=time.perf_counter() - start,
                     label=label or point_progress.label,
+                    busy_seconds=state["busy_total"],
+                    failed=point_progress.failed,
                 )
             )
 
@@ -146,14 +167,15 @@ def failure_size_sweep(
         progress, len(fractions) * len(seeds), series.label
     )
     for fraction in fractions:
-        result = run_trials(
-            topology_factory,
-            spec.with_(failure_fraction=fraction),
-            seeds,
-            progress=tick,
-            jobs=jobs,
-            store=store,
-        )
+        with span("sweep.point", label=series.label, x=fraction):
+            result = run_trials(
+                topology_factory,
+                spec.with_(failure_fraction=fraction),
+                seeds,
+                progress=tick,
+                jobs=jobs,
+                store=store,
+            )
         series.add(fraction, result)
     return series
 
@@ -174,14 +196,15 @@ def mrai_sweep(
         progress, len(mrai_values) * len(seeds), series.label
     )
     for value in mrai_values:
-        result = run_trials(
-            topology_factory,
-            spec.with_(mrai=ConstantMRAI(value)),
-            seeds,
-            progress=tick,
-            jobs=jobs,
-            store=store,
-        )
+        with span("sweep.point", label=series.label, x=value):
+            result = run_trials(
+                topology_factory,
+                spec.with_(mrai=ConstantMRAI(value)),
+                seeds,
+                progress=tick,
+                jobs=jobs,
+                store=store,
+            )
         series.add(value, result)
     return series
 
@@ -207,14 +230,15 @@ def scheme_comparison(
     for label, spec in specs.items():
         series = Series(label=label, x_name="failure_fraction")
         for fraction in fractions:
-            result = run_trials(
-                topology_factory,
-                spec.with_(failure_fraction=fraction),
-                seeds,
-                progress=tick,
-                jobs=jobs,
-                store=store,
-            )
+            with span("sweep.point", label=label, x=fraction):
+                result = run_trials(
+                    topology_factory,
+                    spec.with_(failure_fraction=fraction),
+                    seeds,
+                    progress=tick,
+                    jobs=jobs,
+                    store=store,
+                )
             series.add(fraction, result)
         out.append(series)
     return out

@@ -8,6 +8,13 @@ event-loop hotspot profile.  See docs/OBSERVABILITY.md for the catalogue.
 """
 
 from repro.obs.causality import CausalEvent, CausalGraph, load_trace
+from repro.obs.live import (
+    LiveMonitor,
+    default_progress,
+    last_heartbeat,
+    live_progress,
+    watch_campaign,
+)
 from repro.obs.manifest import PhaseTiming, RunManifest, host_fingerprint
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
@@ -28,6 +35,15 @@ from repro.obs.export import (
     write_timeseries_csv,
 )
 from repro.obs.session import ObsSession, active_session, observe
+from repro.obs.spans import (
+    NOOP_SPAN,
+    RollupRow,
+    Span,
+    SpanRecorder,
+    record_spans,
+    span,
+    traced,
+)
 
 __all__ = [
     "AggregateSample",
@@ -40,19 +56,31 @@ __all__ = [
     "Gauge",
     "HandlerStats",
     "Histogram",
+    "LiveMonitor",
     "MetricsRegistry",
+    "NOOP_SPAN",
     "NetworkProbe",
     "NodeSample",
     "ObsSession",
     "PhaseTiming",
+    "RollupRow",
     "RunManifest",
+    "Span",
+    "SpanRecorder",
     "active_session",
+    "default_progress",
     "format_metric_name",
     "handler_category",
     "host_fingerprint",
+    "last_heartbeat",
+    "live_progress",
     "load_trace",
     "observe",
     "percentile",
+    "record_spans",
+    "span",
+    "traced",
+    "watch_campaign",
     "write_aggregates_csv",
     "write_jsonl",
     "write_manifest",

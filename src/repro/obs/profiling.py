@@ -152,6 +152,24 @@ class EventLoopProfiler:
             for r in self.report()
         ]
 
+    def top_categories(self, k: int = 5) -> List[dict]:
+        """The ``k`` heaviest categories as plain manifest-ready dicts.
+
+        This is what surfaces hotspots in the run manifest without
+        anyone opening profile.txt: category, event count, total
+        seconds, %-of-total share and mean us/event.
+        """
+        return [
+            {
+                "category": r.category,
+                "events": r.events,
+                "total_seconds": round(r.total_seconds, 6),
+                "share": round(r.share, 4),
+                "mean_us": round(r.mean_us, 3),
+            }
+            for r in self.report(k)
+        ]
+
     def render(self, top_k: int = 10) -> str:
         """Human-readable top-k hotspot table."""
         rows = self.report(top_k)

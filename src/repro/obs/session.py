@@ -43,6 +43,7 @@ from repro.obs.manifest import PhaseTiming, RunManifest, jsonable
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probes import NetworkProbe, ProbeData
 from repro.obs.profiling import EventLoopProfiler
+from repro.obs.spans import SpanRecorder, record_spans, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.bgp.network import BGPNetwork
@@ -63,10 +64,19 @@ def active_session() -> Optional["ObsSession"]:
 
 @contextmanager
 def observe(session: "ObsSession"):
-    """Make ``session`` the implicit obs sink for nested experiment runs."""
+    """Make ``session`` the implicit obs sink for nested experiment runs.
+
+    When the session records spans, its recorder is installed as the
+    active one for the block, so instrumented orchestration code
+    (:func:`repro.obs.spans.span` call sites) reports to it implicitly.
+    """
     _ACTIVE.append(session)
     try:
-        yield session
+        if session.span_recorder is not None:
+            with record_spans(session.span_recorder):
+                yield session
+        else:
+            yield session
     finally:
         _ACTIVE.pop()
 
@@ -99,6 +109,12 @@ class ObsSession:
     trace_max_records:
         In-memory bound per trial tracer (drop-oldest; see
         :class:`~repro.sim.trace.Tracer`).
+    spans:
+        When True, the session owns a
+        :class:`~repro.obs.spans.SpanRecorder`; :func:`observe` installs
+        it so instrumented orchestration code records hierarchical
+        wall-clock spans, worker sessions round-trip theirs home, and
+        :meth:`export` writes ``spans.json`` (Chrome trace format).
     """
 
     def __init__(
@@ -110,6 +126,7 @@ class ObsSession:
         trace_sink: Optional[Callable[["TraceRecord"], None]] = None,
         trace_categories: Optional[Set[str]] = None,
         trace_max_records: Optional[int] = None,
+        spans: bool = False,
     ) -> None:
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
@@ -130,6 +147,10 @@ class ObsSession:
         self._tracer: Optional["Tracer"] = None
         self.profiler: Optional[EventLoopProfiler] = (
             EventLoopProfiler() if profile else None
+        )
+        #: Hierarchical wall-clock spans (None = span recording off).
+        self.span_recorder: Optional[SpanRecorder] = (
+            SpanRecorder() if spans else None
         )
         self.probes: List[NetworkProbe] = []
         self.phases: List[PhaseTiming] = []
@@ -293,6 +314,7 @@ class ObsSession:
             "trace_categories": sorted(self.trace_categories),
             "trace_max_records": self.trace_max_records,
             "capture_trace": self.trace_sink is not None,
+            "spans": self.span_recorder is not None,
         }
 
     @classmethod
@@ -313,6 +335,7 @@ class ObsSession:
                 else None
             ),
             trace_max_records=config.get("trace_max_records"),
+            spans=bool(config.get("spans")),
         )
         session._captured_trace = captured
         return session
@@ -345,6 +368,11 @@ class ObsSession:
                 for p in self.probes
             ],
             "trace_records": self._captured_trace,
+            "spans": (
+                list(self.span_recorder.records)
+                if self.span_recorder is not None
+                else []
+            ),
         }
 
     def absorb(self, payload: Dict[str, Any]) -> None:
@@ -385,6 +413,12 @@ class ObsSession:
         if self.trace_sink is not None:
             for record in payload.get("trace_records") or ():
                 self.trace_sink(record)
+        if self.span_recorder is not None:
+            # Worker spans graft under "workers/" so the rollup keeps
+            # parent orchestration time and worker busy time apart.
+            self.span_recorder.absorb_records(
+                payload.get("spans") or (), prefix="workers"
+            )
 
     # ------------------------------------------------------------------
     # Finalization + export
@@ -420,6 +454,21 @@ class ObsSession:
             manifest.extra.setdefault(
                 "profiled_events", self.profiler.total_events
             )
+            # Top hotspot categories inline, so the heaviest handlers
+            # are visible without opening profile.txt.
+            manifest.extra.setdefault(
+                "profile_top", self.profiler.top_categories(5)
+            )
+        if self.span_recorder is not None and len(self.span_recorder):
+            manifest.extra.setdefault(
+                "spans",
+                {
+                    "count": len(self.span_recorder),
+                    "wall_seconds": round(
+                        self.span_recorder.wall_seconds, 6
+                    ),
+                },
+            )
         if self.exploration_summaries:
             manifest.extra.setdefault(
                 "exploration", self.exploration_aggregate()
@@ -454,32 +503,45 @@ class ObsSession:
         self, directory: Union[str, Path], command: str = ""
     ) -> List[Path]:
         """Write every artifact this session holds; returns the paths."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        if self.manifest is None:
-            self.finalize(command=command)
-        assert self.manifest is not None
-        written = [self.manifest.save(directory / "manifest.json")]
-        extra_records: List[Dict[str, Any]] = list(self.trial_snapshots)
-        if self.profiler is not None:
-            extra_records.extend(self.profiler.records())
-        written.append(
-            write_metrics_jsonl(
-                self.registry, directory / "metrics.jsonl", extra_records
+        with span("obs.export"):
+            directory = Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            if self.manifest is None:
+                self.finalize(command=command)
+            assert self.manifest is not None
+            written = [self.manifest.save(directory / "manifest.json")]
+            extra_records: List[Dict[str, Any]] = list(self.trial_snapshots)
+            if self.profiler is not None:
+                extra_records.extend(self.profiler.records())
+            written.append(
+                write_metrics_jsonl(
+                    self.registry, directory / "metrics.jsonl", extra_records
+                )
             )
-        )
-        written.append(
-            write_timeseries_csv(self.probes, directory / "timeseries.csv")
-        )
-        written.append(
-            write_aggregates_csv(self.probes, directory / "aggregates.csv")
-        )
-        if self.profiler is not None:
-            profile_path = directory / "profile.txt"
-            profile_path.write_text(
-                self.profiler.render() + "\n", encoding="utf-8"
+            written.append(
+                write_timeseries_csv(
+                    self.probes, directory / "timeseries.csv"
+                )
             )
-            written.append(profile_path)
+            written.append(
+                write_aggregates_csv(
+                    self.probes, directory / "aggregates.csv"
+                )
+            )
+            if self.profiler is not None:
+                profile_path = directory / "profile.txt"
+                profile_path.write_text(
+                    self.profiler.render() + "\n", encoding="utf-8"
+                )
+                written.append(profile_path)
+        if self.span_recorder is not None and len(self.span_recorder):
+            # Written after the export span closes so the trace contains
+            # its own export cost.
+            written.append(
+                self.span_recorder.write_chrome_trace(
+                    directory / "spans.json"
+                )
+            )
         return written
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

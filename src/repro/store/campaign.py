@@ -54,7 +54,9 @@ from repro.core.parallel import (
     get_default_jobs,
 )
 from repro.core.sweep import Series
+from repro.obs.live import default_progress
 from repro.obs.session import ObsSession, active_session
+from repro.obs.spans import span
 from repro.specs.serialize import (
     build_spec,
     scheme_requires_topology,
@@ -289,6 +291,13 @@ class PointStatus:
     x: float
     done: int
     total: int
+    #: Trials of this cell that failed in the most recent recorded run
+    #: and are still missing from the store (0 once a retry lands them).
+    failed: int = 0
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.done
 
 
 @dataclass
@@ -316,6 +325,8 @@ class CampaignStatus:
         ]
         for p in self.points:
             mark = "done" if p.done == p.total else f"{p.done}/{p.total}"
+            if p.failed:
+                mark += f" ({p.failed} failed)"
             lines.append(f"  {p.label:24s} x={p.x:<10g} {mark}")
         for run in self.history:
             manifest = run["manifest"]
@@ -332,36 +343,58 @@ def _campaign_keys(
     campaign: Campaign,
 ) -> List[Tuple[CampaignTask, str, Topology]]:
     """Expand + content-address the grid (topologies built once per seed)."""
-    factory = campaign.topology_factory()
-    topologies = {seed: factory(seed) for seed in campaign.seeds}
-    return [
-        (task, spec_hash(task.spec, topologies[task.seed], task.seed),
-         topologies[task.seed])
-        for task in campaign.tasks()
-    ]
+    with span("campaign.expand", trials=campaign.total_trials):
+        factory = campaign.topology_factory()
+        topologies = {}
+        for seed in campaign.seeds:
+            with span("topology.build", seed=seed):
+                topologies[seed] = factory(seed)
+        return [
+            (task, spec_hash(task.spec, topologies[task.seed], task.seed),
+             topologies[task.seed])
+            for task in campaign.tasks()
+        ]
 
 
 def campaign_status(
     campaign: Campaign, store: ResultStore
 ) -> CampaignStatus:
-    """Grid completeness against a store (read-only: no hit counters)."""
+    """Grid completeness against a store (read-only: no hit counters).
+
+    ``failed`` per cell comes from the most recent recorded run's
+    failure manifest: a trial counts as failed only while it is *still
+    missing* from the store, so a successful retry clears the flag.
+    """
+    history = list(store.iter_campaigns(campaign.name))
+    recorded_failures: Dict[Tuple[str, float, int], bool] = {}
+    if history:
+        for failure in history[-1]["manifest"].get("failures", []):
+            recorded_failures[
+                (
+                    str(failure["label"]),
+                    float(failure["x"]),
+                    int(failure["seed"]),
+                )
+            ] = True
     per_point: Dict[Tuple[str, float], List[int]] = {}
     cached = 0
     for task, key, _topology in _campaign_keys(campaign):
-        done_total = per_point.setdefault((task.label, task.x), [0, 0])
-        done_total[1] += 1
+        cell = per_point.setdefault((task.label, task.x), [0, 0, 0])
+        cell[1] += 1
         if store.has(key):
-            done_total[0] += 1
+            cell[0] += 1
             cached += 1
+        elif recorded_failures.get((task.label, task.x, task.seed)):
+            cell[2] += 1
     return CampaignStatus(
         name=campaign.name,
         total=campaign.total_trials,
         cached=cached,
         points=[
-            PointStatus(label, x, done, total)
-            for (label, x), (done, total) in per_point.items()
+            PointStatus(label, x, done, total, failed)
+            for (label, x), (done, total, failed) in per_point.items()
         ],
-        history=list(store.iter_campaigns(campaign.name)),
+        history=history,
     )
 
 
@@ -451,8 +484,17 @@ def run_campaign(
         obs = active_session()
     if jobs is None:
         jobs = get_default_jobs()
+    if progress is None:
+        progress = default_progress()
     start = time.perf_counter()
+    campaign_span = span(
+        "campaign.run",
+        campaign=campaign.name,
+        trials=campaign.total_trials,
+        jobs=jobs,
+    )
     try:
+        campaign_span.__enter__()
         keyed = _campaign_keys(campaign)
         total = len(keyed)
         results: Dict[int, TrialResult] = {}
@@ -473,6 +515,8 @@ def run_campaign(
                 pending.append((task, key, topology))
         hits = len(results)
         done_count = hits
+        busy = 0.0
+        failed_now = 0
         if progress is not None and hits:
             progress(
                 Progress(
@@ -488,8 +532,10 @@ def run_campaign(
         retried = 0
         payloads: Dict[int, Dict[str, Any]] = {}
         attempt = 1
+        failures: List[Tuple[CampaignTask, str, Topology, str]] = []
         while pending:
-            failures: List[Tuple[CampaignTask, str, Topology, str]] = []
+            failures = []
+            failed_now = 0
             trial_tasks = [
                 TrialTask(
                     index=task.ordinal,
@@ -504,35 +550,80 @@ def run_campaign(
                 task.ordinal: (task, key, topology)
                 for task, key, topology in pending
             }
-            for ordinal, trial, payload, error in _run_batch(
-                trial_tasks, jobs
+            with span(
+                "campaign.attempt", attempt=attempt, tasks=len(pending)
             ):
-                task, key, topology = by_ordinal[ordinal]
-                if error is not None:
-                    failures.append((task, key, topology, error))
-                    continue
-                assert trial is not None
-                # Parent-side write, durable the moment the trial lands.
-                store.put(key, trial, fingerprint=fingerprints[ordinal])
-                results[ordinal] = trial
-                if payload is not None:
-                    payloads[ordinal] = payload
-                if obs is not None:
-                    obs.note_cache(False)
-                executed += 1
-                done_count += 1
-                if progress is not None:
-                    progress(
-                        Progress(
-                            done=done_count,
-                            total=total,
-                            elapsed=time.perf_counter() - start,
-                            label=campaign.name,
+                for ordinal, trial, payload, error in _run_batch(
+                    trial_tasks, jobs
+                ):
+                    task, key, topology = by_ordinal[ordinal]
+                    if error is not None:
+                        failures.append((task, key, topology, error))
+                        failed_now += 1
+                        if progress is not None:
+                            progress(
+                                Progress(
+                                    done=done_count,
+                                    total=total,
+                                    elapsed=time.perf_counter() - start,
+                                    label=campaign.name,
+                                    busy_seconds=busy,
+                                    failed=failed_now,
+                                )
+                            )
+                        continue
+                    assert trial is not None
+                    # Parent-side write, durable the moment the trial lands.
+                    store.put(key, trial, fingerprint=fingerprints[ordinal])
+                    results[ordinal] = trial
+                    if payload is not None:
+                        payloads[ordinal] = payload
+                    if obs is not None:
+                        obs.note_cache(False)
+                    executed += 1
+                    done_count += 1
+                    busy += trial.warmup_wall + trial.convergence_wall
+                    if progress is not None:
+                        progress(
+                            Progress(
+                                done=done_count,
+                                total=total,
+                                elapsed=time.perf_counter() - start,
+                                label=campaign.name,
+                                busy_seconds=busy,
+                                failed=failed_now,
+                            )
                         )
-                    )
             if not failures:
                 break
             if attempt >= retry.max_attempts:
+                # Record the failure manifest *before* raising so
+                # `campaign status --check` can attribute the gap to
+                # specific cells (cleared automatically once a retry
+                # lands the trials in the store).
+                store.record_campaign(
+                    campaign.name,
+                    {
+                        "campaign": campaign.to_dict(),
+                        "total_trials": total,
+                        "cache_hits": hits,
+                        "executed": executed,
+                        "retried": retried,
+                        "jobs": jobs,
+                        "wall_seconds": round(
+                            time.perf_counter() - start, 3
+                        ),
+                        "failures": [
+                            {
+                                "label": t.label,
+                                "x": t.x,
+                                "seed": t.seed,
+                                "error": err,
+                            }
+                            for t, _k, _topo, err in failures
+                        ],
+                    },
+                )
                 raise CampaignError(
                     f"{len(failures)} trial(s) failed after "
                     f"{retry.max_attempts} attempt(s): "
@@ -551,10 +642,12 @@ def run_campaign(
 
         # Absorb worker observability in ordinal (fold) order.
         if obs is not None:
-            for ordinal in sorted(payloads):
-                obs.absorb(payloads[ordinal])
+            with span("obs.absorb", payloads=len(payloads)):
+                for ordinal in sorted(payloads):
+                    obs.absorb(payloads[ordinal])
 
-        series_list, point_results = _fold(campaign, results)
+        with span("campaign.fold", trials=total):
+            series_list, point_results = _fold(campaign, results)
         wall = time.perf_counter() - start
         manifest = {
             "campaign": campaign.to_dict(),
@@ -580,6 +673,7 @@ def run_campaign(
             wall_seconds=wall,
         )
     finally:
+        campaign_span.__exit__(None, None, None)
         if own_store:
             store.close()
 

@@ -149,11 +149,14 @@ def spec_hash(
     :func:`spec_fingerprint` — collision-free for all practical purposes,
     stable forever unless :data:`SCHEMA_VERSION` is bumped.
     """
-    payload = json.dumps(
-        spec_fingerprint(spec, topology, seed),
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.blake2b(
-        payload.encode("utf-8"), key=_HASH_KEY, digest_size=32
-    ).hexdigest()
+    from repro.obs.spans import span
+
+    with span("store.spec_hash"):
+        payload = json.dumps(
+            spec_fingerprint(spec, topology, seed),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.blake2b(
+            payload.encode("utf-8"), key=_HASH_KEY, digest_size=32
+        ).hexdigest()

@@ -36,6 +36,7 @@ from typing import (
     Union,
 )
 
+from repro.obs.spans import span
 from repro.store.hashing import SCHEMA_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -165,14 +166,17 @@ class ResultStore:
 
     def get(self, key: str) -> Optional["TrialResult"]:
         """The cached trial for ``key``, or None (counted hit/miss)."""
-        row = self._conn.execute(
-            "SELECT result FROM trials WHERE key=?", (key,)
-        ).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trial_from_dict(json.loads(row[0]))
+        with span("store.get") as s:
+            row = self._conn.execute(
+                "SELECT result FROM trials WHERE key=?", (key,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                s.set(hit=False)
+                return None
+            self.hits += 1
+            s.set(hit=True)
+            return trial_from_dict(json.loads(row[0]))
 
     def put(
         self,
@@ -185,6 +189,15 @@ class ResultStore:
         Must only be called from the parent process — the single-writer
         rule that keeps WAL simple and fold order deterministic.
         """
+        with span("store.put"):
+            self._put(key, trial, fingerprint)
+
+    def _put(
+        self,
+        key: str,
+        trial: "TrialResult",
+        fingerprint: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO trials "
             "(key, seed, result, fingerprint, run_id, git_rev, "

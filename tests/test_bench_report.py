@@ -1,0 +1,192 @@
+"""tools/bench_report.py: history shapes, trend, attribution, gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+import bench_report  # noqa: E402
+
+
+def _record(recorded="2026-01-01T00:00:00+00:00", serial_wall=10.0,
+            speedup=1.8, events=50_000):
+    return {
+        "recorded_utc": recorded,
+        "nodes": 60,
+        "fractions": [0.05, 0.1],
+        "seeds": [1, 2],
+        "trials": 4,
+        "runs": [
+            {
+                "jobs": 1,
+                "wall_seconds": serial_wall,
+                "events_per_second": events,
+                "speedup": 1.0,
+            },
+            {
+                "jobs": 4,
+                "wall_seconds": serial_wall / speedup,
+                "events_per_second": int(events * speedup),
+                "speedup": speedup,
+            },
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# History shapes
+# ----------------------------------------------------------------------
+def test_load_history_current_shape(tmp_path):
+    path = tmp_path / "BENCH_sweep.json"
+    path.write_text(
+        json.dumps(
+            {"kind": "BENCH_sweep", "history": [_record(), _record()]}
+        ),
+        encoding="utf-8",
+    )
+    assert len(bench_report.load_history(path)) == 2
+
+
+def test_load_history_legacy_single_record(tmp_path):
+    path = tmp_path / "BENCH_sweep.json"
+    legacy = dict(_record(), kind="BENCH_sweep")
+    path.write_text(json.dumps(legacy), encoding="utf-8")
+    history = bench_report.load_history(path)
+    assert len(history) == 1
+    assert "kind" not in history[0]
+    assert history[0]["nodes"] == 60
+
+
+def test_load_history_missing_and_garbage(tmp_path):
+    assert bench_report.load_history(tmp_path / "none.json") == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert bench_report.load_history(bad) == []
+    arr = tmp_path / "arr.json"
+    arr.write_text("[1, 2]", encoding="utf-8")
+    assert bench_report.load_history(arr) == []
+
+
+# ----------------------------------------------------------------------
+# Trend
+# ----------------------------------------------------------------------
+def test_render_trend():
+    history = [
+        _record(recorded="2026-01-01T00:00:00", events=40_000, speedup=0.9),
+        _record(recorded="2026-01-02T00:00:00", events=50_000, speedup=1.8),
+    ]
+    text = bench_report.render_trend(history)
+    assert "2026-01-01" in text and "2026-01-02" in text
+    assert "1.80x @4" in text
+    assert "+25.0%" in text  # 40k -> 50k events/s
+    assert bench_report.render_trend([]) == "no benchmark records"
+
+
+# ----------------------------------------------------------------------
+# Attribution
+# ----------------------------------------------------------------------
+def test_render_attribution(tmp_path):
+    from repro.obs.spans import SpanRecorder
+
+    rec = SpanRecorder()
+
+    def add(name, path, start, dur, attrs=None, pid=1):
+        rec.records.append(
+            {"name": name, "path": path, "start": start, "dur": dur,
+             "pid": pid, "attrs": attrs or {}}
+        )
+
+    add("trials.run", "trials.run", 0.0, 10.0, {"jobs": 2})
+    add("pool.run", "trials.run/pool.run", 0.1, 9.8,
+        {"jobs": 2, "spinup_seconds": 0.25})
+    add("pool.submit", "trials.run/pool.run/pool.submit", 0.4, 0.5)
+    add("pool.collect", "trials.run/pool.run/pool.collect", 0.9, 9.0)
+    add("trials.fold", "trials.run/trials.fold", 9.9, 0.1)
+    add("trial.execute", "workers/trial.execute", 1.0, 8.0, {"seed": 1},
+        pid=2)
+    add("trial.execute", "workers/trial.execute", 1.0, 8.0, {"seed": 2},
+        pid=3)
+    spans_path = rec.write_chrome_trace(tmp_path / "spans.json")
+
+    text = bench_report.render_attribution(spans_path)
+    assert "wall clock" in text
+    assert "jobs=2" in text
+    assert "1.60x the wall" in text  # 16s busy over 10s wall
+    assert "pool spin-up" in text and "0.250 s" in text
+    # Ideal wall = 16/2 = 8s; collect idle = 9 - 8 = 1s.
+    assert "collect idle" in text and "1.000 s" in text
+
+
+def test_render_attribution_serial_fallback(tmp_path):
+    from repro.obs.spans import SpanRecorder
+
+    rec = SpanRecorder()
+    rec.records = [
+        {"name": "trials.run", "path": "trials.run", "start": 0.0,
+         "dur": 4.0, "pid": 1, "attrs": {"jobs": 1}},
+        {"name": "trial.execute", "path": "trials.run/trial.execute",
+         "start": 0.1, "dur": 3.8, "pid": 1, "attrs": {}},
+    ]
+    spans_path = rec.write_chrome_trace(tmp_path / "spans.json")
+    text = bench_report.render_attribution(spans_path, jobs=1)
+    assert "0.95x the wall" in text
+
+
+# ----------------------------------------------------------------------
+# Overhead gate + CLI
+# ----------------------------------------------------------------------
+def test_disabled_span_cost_is_sub_microsecond():
+    cost = bench_report.disabled_span_cost(iterations=20_000)
+    # The disabled path is one global read + a shared no-op context
+    # manager; even slow CI machines finish far under 10 us.
+    assert cost < 10e-6
+
+
+def test_overhead_check_passes_with_realistic_history(capsys):
+    history = [_record(serial_wall=10.0)]  # 2.5 s/trial
+    assert bench_report.overhead_check(history) == 0
+    out = capsys.readouterr().out
+    assert "overhead gate" in out and "ok" in out
+
+
+def test_overhead_check_fails_on_tiny_budget(capsys):
+    history = [_record(serial_wall=10.0)]
+    assert bench_report.overhead_check(history, budget=1e-9) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_main_trend_and_attribution(tmp_path, capsys):
+    bench = tmp_path / "BENCH_sweep.json"
+    bench.write_text(
+        json.dumps({"kind": "BENCH_sweep", "history": [_record()]}),
+        encoding="utf-8",
+    )
+    from repro.obs.spans import SpanRecorder, record_spans, span
+
+    with record_spans() as rec:
+        with span("trials.run", jobs=1):
+            with span("trial.execute"):
+                pass
+    spans_path = rec.write_chrome_trace(tmp_path / "spans.json")
+
+    assert bench_report.main(["--bench", str(bench)]) == 0
+    assert "bench trend" in capsys.readouterr().out
+    assert (
+        bench_report.main(
+            ["--bench", str(bench), "--spans", str(spans_path)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "span attribution" in out
+    assert (
+        bench_report.main(
+            ["--bench", str(bench), "--spans", str(tmp_path / "no.json")]
+        )
+        == 2
+    )

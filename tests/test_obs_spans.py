@@ -1,0 +1,250 @@
+"""Span tracing: disabled cost, nesting, round-trips, exports, neutrality."""
+
+import json
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.mrai import ConstantMRAI
+from repro.bgp.network import BGPNetwork
+from repro.core.experiment import ExperimentSpec, run_experiment, run_trials
+from repro.obs.session import ObsSession, observe
+from repro.obs.spans import (
+    NOOP_SPAN,
+    SpanRecorder,
+    active_recorder,
+    record_spans,
+    span,
+    traced,
+)
+from repro.sim.timers import Jitter
+from repro.topology.skewed import skewed_topology
+from tests.conftest import clique_topology
+
+
+# ----------------------------------------------------------------------
+# Core mechanics
+# ----------------------------------------------------------------------
+def test_span_disabled_is_shared_noop():
+    assert active_recorder() is None
+    s = span("anything", x=1)
+    assert s is NOOP_SPAN
+    assert span("other") is s  # one object, no allocation per call
+    with s as inner:
+        assert inner is s
+        assert inner.set(y=2) is s  # set() is a no-op, chainable
+
+
+def test_record_spans_nesting_paths():
+    with record_spans() as rec:
+        with span("outer", a=1) as outer:
+            with span("inner"):
+                pass
+            outer.set(b=2)
+        with span("second"):
+            pass
+    paths = [r["path"] for r in rec.records]
+    # Children finish (and record) before their parents.
+    assert paths == ["outer/inner", "outer", "second"]
+    outer_rec = rec.records[1]
+    assert outer_rec["attrs"] == {"a": 1, "b": 2}
+    assert all(r["dur"] >= 0.0 for r in rec.records)
+
+
+def test_record_spans_restores_previous_recorder_and_path():
+    with record_spans() as outer_rec:
+        with span("outer"):
+            with record_spans() as inner_rec:
+                assert active_recorder() is inner_rec
+                with span("fresh_root"):
+                    pass
+            assert active_recorder() is outer_rec
+    # The nested block restarts paths at root (fork-inheritance guard).
+    assert [r["path"] for r in inner_rec.records] == ["fresh_root"]
+    assert [r["path"] for r in outer_rec.records] == ["outer"]
+    assert active_recorder() is None
+
+
+def test_traced_decorator():
+    @traced()
+    def plain():
+        return 42
+
+    @traced("custom.name", tag="t")
+    def named():
+        return 7
+
+    assert plain() == 42  # disabled: no recorder, no span machinery
+    with record_spans() as rec:
+        assert plain() == 42
+        assert named() == 7
+    names = [r["name"] for r in rec.records]
+    assert names[0].endswith("plain")  # qualified name of the function
+    assert names[1] == "custom.name"
+    assert rec.records[1]["attrs"] == {"tag": "t"}
+
+
+# ----------------------------------------------------------------------
+# Rollup + Chrome trace
+# ----------------------------------------------------------------------
+def test_rollup_shares_and_parent_denominators():
+    rec = SpanRecorder()
+    rec.records = [
+        {"name": "root", "path": "root", "start": 0.0, "dur": 10.0,
+         "pid": 1, "attrs": {}},
+        {"name": "a", "path": "root/a", "start": 0.0, "dur": 4.0,
+         "pid": 1, "attrs": {}},
+        {"name": "a", "path": "root/a", "start": 4.0, "dur": 2.0,
+         "pid": 1, "attrs": {}},
+        {"name": "b", "path": "root/a/b", "start": 0.5, "dur": 3.0,
+         "pid": 1, "attrs": {}},
+    ]
+    rows = {r.path: r for r in rec.rollup()}
+    assert rows["root"].share_of_parent == pytest.approx(1.0)  # of wall
+    assert rows["root/a"].count == 2
+    assert rows["root/a"].total_seconds == pytest.approx(6.0)
+    assert rows["root/a"].share_of_parent == pytest.approx(0.6)
+    assert rows["root/a/b"].share_of_parent == pytest.approx(3.0 / 6.0)
+    assert rows["root/a"].mean_ms == pytest.approx(3000.0)
+    table = rec.render_rollup()
+    assert "root" in table and "% parent" in table
+
+
+def test_chrome_trace_structure(tmp_path):
+    with record_spans() as rec:
+        with span("outer", k="v"):
+            with span("inner"):
+                pass
+    path = rec.write_chrome_trace(tmp_path / "spans.json")
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(metas) == 1 and metas[0]["args"]["name"] == "parent"
+    assert {e["name"] for e in xs} == {"outer", "inner"}
+    # Timestamps are rebased to the earliest span and non-negative.
+    assert min(e["ts"] for e in xs) == pytest.approx(0.0, abs=1e-3)
+    outer = next(e for e in xs if e["name"] == "outer")
+    assert outer["args"]["k"] == "v"
+    assert outer["args"]["path"] == "outer"
+    assert doc["displayTimeUnit"] == "ms"
+    assert {row["path"] for row in doc["rollup"]} == {"outer", "outer/inner"}
+
+
+def test_absorb_records_grafts_prefix_losslessly():
+    worker = SpanRecorder()
+    with record_spans(worker):
+        with span("trial.execute", seed=9):
+            with span("trial.warmup"):
+                pass
+    shipped = json.loads(json.dumps(worker.records))  # picklable/JSON-safe
+    parent = SpanRecorder()
+    parent.absorb_records(shipped, prefix="workers")
+    assert [r["path"] for r in parent.records] == [
+        "workers/trial.execute/trial.warmup",
+        "workers/trial.execute",
+    ]
+    grafted = parent.records[1]
+    original = worker.records[1]
+    assert grafted["attrs"] == original["attrs"] == {"seed": 9}
+    assert grafted["start"] == original["start"]
+    assert grafted["dur"] == original["dur"]
+    assert grafted["pid"] == original["pid"]
+    assert parent.total("trial.warmup") == pytest.approx(
+        worker.total("trial.warmup")
+    )
+
+
+# ----------------------------------------------------------------------
+# Trajectory neutrality (golden pins)
+# ----------------------------------------------------------------------
+def test_spans_are_trajectory_neutral_golden():
+    """The golden 5-clique counters hold with span recording active."""
+    config = BGPConfig(
+        mrai_policy=ConstantMRAI(1.0),
+        processing_delay_range=(0.0, 0.0),
+        mrai_jitter=Jitter.none(),
+    )
+    with record_spans():
+        with span("test.harness"):
+            net = BGPNetwork(clique_topology(5), config, seed=1)
+            net.start()
+            net.run_until_quiet()
+    assert net.counters["updates_sent"] == 80
+    assert net.counters["route_changes"] == 25
+
+
+def test_spans_do_not_change_experiment_results():
+    topo = skewed_topology(30, seed=7)
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.1)
+    bare = run_experiment(topo, spec, seed=3)
+    with record_spans() as rec:
+        recorded = run_experiment(topo, spec, seed=3)
+    assert recorded == bare
+    assert rec.total("trial.warmup") > 0.0
+    assert {"trial.warmup", "trial.failure", "trial.convergence"} <= {
+        r["name"] for r in rec.records
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker round-trip under jobs > 1
+# ----------------------------------------------------------------------
+def test_span_worker_round_trip_parallel():
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.2)
+    factory = lambda s: skewed_topology(12, seed=s)  # noqa: E731
+    seeds = [1, 2, 3, 4]
+    obs = ObsSession(spans=True)
+    with observe(obs):
+        parallel = run_trials(factory, spec, seeds, jobs=2, obs=obs)
+    serial = run_trials(factory, spec, seeds, jobs=1)
+    # Observability never perturbs the simulation.
+    assert parallel.trials == serial.trials
+
+    rec = obs.span_recorder
+    worker = [r for r in rec.records if r["path"].startswith("workers/")]
+    # One trial.execute (with its three phases) per seed, all grafted.
+    executes = [r for r in worker if r["name"] == "trial.execute"]
+    assert len(executes) == len(seeds)
+    assert {r["attrs"]["seed"] for r in executes} == set(seeds)
+    assert all(
+        r["path"] == "workers/trial.execute" for r in executes
+    )
+    warmups = [r for r in worker if r["name"] == "trial.warmup"]
+    assert len(warmups) == len(seeds)
+    assert all(
+        r["path"] == "workers/trial.execute/trial.warmup" for r in warmups
+    )
+    # Worker spans carry worker pids; parent spans carry the parent's.
+    assert all(r["pid"] != rec.pid for r in worker)
+    parent_names = {
+        r["name"] for r in rec.records if not r["path"].startswith("workers/")
+    }
+    assert {"trials.run", "pool.run", "pool.submit", "pool.collect",
+            "trials.fold", "obs.absorb"} <= parent_names
+    # The pool span records its spin-up cost.
+    pool = next(r for r in rec.records if r["name"] == "pool.run")
+    assert pool["attrs"]["jobs"] == 2
+    assert pool["attrs"]["spinup_seconds"] >= 0.0
+    # Everything survives a manifest/export round-trip.
+    summary = obs.finalize(kind="test", command="test")
+    assert summary.extra["spans"]["count"] == len(rec.records)
+
+
+def test_store_spans_record_hits_and_misses(tmp_path):
+    from repro.store.result_store import ResultStore
+
+    spec = ExperimentSpec(mrai=ConstantMRAI(0.5), failure_fraction=0.2)
+    factory = lambda s: skewed_topology(10, seed=s)  # noqa: E731
+    with ResultStore(tmp_path / "store.db") as store:
+        with record_spans() as rec:
+            run_trials(factory, spec, [1, 2], jobs=1, store=store)
+        gets = [r for r in rec.records if r["name"] == "store.get"]
+        assert gets and all(r["attrs"]["hit"] is False for r in gets)
+        assert sum(1 for r in rec.records if r["name"] == "store.put") == 2
+        assert any(r["name"] == "store.spec_hash" for r in rec.records)
+        with record_spans() as rec2:
+            run_trials(factory, spec, [1, 2], jobs=1, store=store)
+        hits = [r for r in rec2.records if r["name"] == "store.get"]
+        assert hits and all(r["attrs"]["hit"] is True for r in hits)
+        assert not any(r["name"] == "store.put" for r in rec2.records)
