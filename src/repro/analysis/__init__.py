@@ -13,6 +13,14 @@ from repro.analysis.convergence import (
     analyze_trace_file,
     render_report,
 )
+from repro.analysis.dataplane import (
+    DataPlaneTimeline,
+    PairStats,
+    analyze_dataplane,
+    analyze_dataplane_file,
+    load_dataplane_trials,
+    render_dataplane_report,
+)
 from repro.analysis.report import (
     format_figure,
     format_series_table,
@@ -34,12 +42,18 @@ from repro.analysis.timeseries import Probe, Sample, sparkline
 
 __all__ = [
     "ConvergenceTimeline",
+    "DataPlaneTimeline",
+    "PairStats",
     "PathHistory",
     "Probe",
     "Sample",
+    "analyze_dataplane",
+    "analyze_dataplane_file",
     "analyze_trace",
     "analyze_trace_file",
     "crossover_point",
+    "load_dataplane_trials",
+    "render_dataplane_report",
     "format_figure",
     "format_series_table",
     "is_v_shaped",

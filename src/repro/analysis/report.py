@@ -18,11 +18,17 @@ def series_to_rows(
     """Tabulate several series over the union of their x values.
 
     Returns (header, rows); the first column is the swept parameter, one
-    column per series.  ``metric`` is ``"delay"`` (seconds) or
-    ``"messages"``.
+    column per series.  ``metric`` is ``"delay"`` (seconds),
+    ``"messages"``, or ``"unreachable"`` (data-plane node-seconds).
     """
-    if metric not in ("delay", "messages"):
+    accessors = {
+        "delay": (Series.delay_at, "{:.2f}"),
+        "messages": (Series.messages_at, "{:.0f}"),
+        "unreachable": (Series.unreachable_at, "{:.2f}"),
+    }
+    if metric not in accessors:
         raise ValueError(f"unknown metric {metric!r}")
+    value_at, fmt_value = accessors[metric]
     xs = sorted({x for s in series_list for x in s.xs})
     header = [series_list[0].x_name if series_list else "x"]
     header += [s.label for s in series_list]
@@ -31,8 +37,7 @@ def series_to_rows(
         row = [f"{x:g}"]
         for s in series_list:
             try:
-                value = s.delay_at(x) if metric == "delay" else s.messages_at(x)
-                row.append(f"{value:.2f}" if metric == "delay" else f"{value:.0f}")
+                row.append(fmt_value.format(value_at(s, x)))
             except KeyError:
                 row.append("-")
         rows.append(row)
@@ -71,7 +76,11 @@ def format_figure(
 ) -> str:
     """Full text block for one reproduced figure."""
     blocks = [f"=== {figure_id}: {caption} ==="]
-    unit = {"delay": "convergence delay (s)", "messages": "update messages"}
+    unit = {
+        "delay": "convergence delay (s)",
+        "messages": "update messages",
+        "unreachable": "unreachable node-seconds",
+    }
     for metric in metrics:
         blocks.append(
             format_series_table(series_list, metric, title=f"[{unit[metric]}]")

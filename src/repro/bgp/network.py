@@ -25,6 +25,7 @@ from repro.sim.trace import Counter, Tracer
 from repro.topology.graph import DEFAULT_LINK_DELAY, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.dataplane import DataPlaneMonitor
     from repro.obs.metrics import MetricsRegistry
 
 
@@ -54,6 +55,9 @@ class BGPNetwork:
         self.last_activity = 0.0
         self.speakers: Dict[int, BGPSpeaker] = {}
         self._failed: Set[int] = set()
+        #: Optional data-plane impact monitor (None = off; the hot path
+        #: pays one attribute read + None check per best-route change).
+        self.dataplane: Optional["DataPlaneMonitor"] = None
         #: Next provenance uid for causal tracing; advances only while a
         #: real tracer is attached (see :meth:`next_uid`).
         self._next_uid = 0
@@ -269,11 +273,15 @@ class BGPNetwork:
                 None,
                 tuple(failing),
             )
+        failed_now = []
         for node_id in failing:
             speaker = self.speakers[node_id]
             if speaker.alive:
                 speaker.fail()
                 self._failed.add(node_id)
+                failed_now.append(node_id)
+        if self.dataplane is not None and failed_now:
+            self.dataplane.on_nodes_failed(failed_now, t0)
         if self.config.session is not None:
             # Detection emerges from hold-timer expiry.
             return t0
@@ -308,6 +316,11 @@ class BGPNetwork:
         for node_id in recovering:
             speaker = self.speakers[node_id]
             if not speaker.alive:
+                # Mark the node alive for the data-plane monitor first:
+                # revive() immediately re-originates own prefixes, and
+                # those best-route hooks must land on an alive node.
+                if self.dataplane is not None:
+                    self.dataplane.on_node_recovered(node_id, t0)
                 speaker.revive()
                 self._failed.discard(node_id)
                 self.counters.incr("nodes_recovered")

@@ -364,6 +364,9 @@ class BGPSpeaker:
         if new is not None and new.same_selection(old):
             return
         self.loc_rib.set(dest, new)
+        dataplane = self.network.dataplane
+        if dataplane is not None:
+            dataplane.on_best_route(self.node_id, dest, new, self.sim.now)
         self.network.counters.incr("route_changes")
         if self.sim.tracer.enabled:
             self.sim.tracer.emit(

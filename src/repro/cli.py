@@ -87,12 +87,15 @@ def _make_obs_session(
     """
     trace_out = getattr(args, "trace_out", None)
     spans_out = getattr(args, "spans_out", None)
+    dataplane_out = getattr(args, "dataplane_out", None)
+    dataplane = getattr(args, "dataplane", False) or bool(dataplane_out)
     wants_obs = (
         getattr(args, "metrics_out", None)
         or getattr(args, "profile", False)
         or getattr(args, "sample_interval", None) is not None
         or trace_out
         or spans_out
+        or dataplane
     )
     if not wants_obs:
         return None
@@ -103,11 +106,20 @@ def _make_obs_session(
         from repro.sim.trace import jsonl_sink
 
         trace_sink = stack.enter_context(jsonl_sink(trace_out))
+    dataplane_sink = None
+    if dataplane_out:
+        from repro.obs.dataplane import dataplane_jsonl_sink
+
+        dataplane_sink = stack.enter_context(
+            dataplane_jsonl_sink(dataplane_out)
+        )
     obs = ObsSession(
         sample_interval=args.sample_interval,
         profile=args.profile,
         trace_sink=trace_sink,
         spans=bool(spans_out),
+        dataplane=dataplane,
+        dataplane_sink=dataplane_sink,
     )
     if obs.span_recorder is not None:
         # Install the recorder for the rest of the command so parent-side
@@ -128,6 +140,8 @@ def _finish_obs(obs, args: argparse.Namespace, command: str) -> None:
             print(f"wrote {path}", file=sys.stderr)
     if getattr(args, "trace_out", None):
         print(f"wrote {args.trace_out}", file=sys.stderr)
+    if getattr(args, "dataplane_out", None):
+        print(f"wrote {args.dataplane_out}", file=sys.stderr)
     spans_out = getattr(args, "spans_out", None)
     if spans_out and obs.span_recorder is not None:
         path = obs.span_recorder.write_chrome_trace(spans_out)
@@ -200,6 +214,21 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"settle times       : p50 {exp['settle']['p50']:.2f} s, "
                 f"p95 {exp['settle']['p95']:.2f} s, "
                 f"max {exp['settle']['max']:.2f} s"
+            )
+        if obs is not None and obs.last_dataplane is not None:
+            dp = obs.last_dataplane
+            print(
+                f"data-plane impact  : "
+                f"{dp['unreachable_seconds_total']:.2f} node-s unreachable "
+                f"({dp['blackhole_episodes']} blackhole / "
+                f"{dp['loop_episodes']} loop episodes)"
+            )
+            print(
+                f"  per destination  : p50 "
+                f"{dp['unreachable_dest_p50']:.2f} s, p95 "
+                f"{dp['unreachable_dest_p95']:.2f} s, max "
+                f"{dp['unreachable_dest_max']:.2f} s; "
+                f"{dp['pairs_never_recovered']} pair(s) never recovered"
             )
         _finish_obs(obs, args, command="run")
     if result.truncated:
@@ -306,6 +335,34 @@ def cmd_trace_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_report(report))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_dataplane_report(args: argparse.Namespace) -> int:
+    """Offline unavailability/loop/blackhole report of a dataplane JSONL."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.dataplane import (
+        analyze_dataplane_file,
+        render_dataplane_report,
+    )
+
+    try:
+        report = analyze_dataplane_file(args.path, t0=args.t0, top=args.top)
+    except (OSError, ValueError) as exc:
+        print(f"cannot analyze {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_dataplane_report(report))
     if args.out:
         Path(args.out).write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n",
@@ -601,6 +658,24 @@ def make_parser() -> argparse.ArgumentParser:
                 "the rollup table (see docs/OBSERVABILITY.md)"
             ),
         )
+        parser_.add_argument(
+            "--dataplane",
+            action="store_true",
+            help=(
+                "monitor the data plane during convergence: forwarding "
+                "loops, blackholes, per-destination unreachability "
+                "(trajectory-neutral; summary lands on each trial)"
+            ),
+        )
+        parser_.add_argument(
+            "--dataplane-out",
+            metavar="PATH",
+            help=(
+                "write per-(node, dest) reachability transitions as "
+                "JSONL to PATH, for `repro-bgp dataplane report` "
+                "(implies --dataplane)"
+            ),
+        )
 
     def add_topology_args(parser_):
         parser_.add_argument("--nodes", type=int, default=120)
@@ -841,6 +916,47 @@ def make_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="also write the JSON report to PATH"
     )
     analyze_p.set_defaults(func=cmd_trace_analyze)
+
+    dataplane_p = sub.add_parser(
+        "dataplane", help="offline analysis of data-plane impact records"
+    )
+    dataplane_sub = dataplane_p.add_subparsers(
+        dest="dataplane_command", required=True
+    )
+    report_p = dataplane_sub.add_parser(
+        "report",
+        help=(
+            "unavailability / loop / blackhole report from a JSONL file "
+            "written by --dataplane-out"
+        ),
+    )
+    report_p.add_argument(
+        "path", help="data-plane file written by --dataplane-out"
+    )
+    report_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    report_p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many worst destinations to list per trial (default 5)",
+    )
+    report_p.add_argument(
+        "--t0",
+        type=float,
+        default=None,
+        help=(
+            "observation-window start override (default: each trial's "
+            "recorded failure time)"
+        ),
+    )
+    report_p.add_argument(
+        "--out", metavar="PATH", help="also write the JSON report to PATH"
+    )
+    report_p.set_defaults(func=cmd_dataplane_report)
 
     topo_p = sub.add_parser(
         "topo", help="generate (and optionally save) a topology"

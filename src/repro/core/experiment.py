@@ -150,6 +150,13 @@ class TrialResult:
     #: equality: two identical simulations differ in host timing noise.
     warmup_wall: float = field(default=0.0, compare=False)
     convergence_wall: float = field(default=0.0, compare=False)
+    #: Data-plane impact summary (see
+    #: :meth:`repro.analysis.dataplane.DataPlaneTimeline.headline`) when
+    #: the trial ran with an ObsSession's monitors on; None otherwise.
+    #: Excluded from equality so store-cached results from unmonitored
+    #: runs still compare equal to freshly monitored ones (the monitor
+    #: is trajectory-neutral, so every compared field is unaffected).
+    dataplane: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -400,6 +407,11 @@ def run_experiment(
         validate_routing(network)
 
     diff = network.counters.diff(warmup_snapshot)
+    dataplane_summary = (
+        obs.finish_dataplane(network, t0=t0, seed=seed)
+        if obs is not None
+        else None
+    )
     result = TrialResult(
         convergence_delay=network.last_activity - t0,
         messages_sent=diff.get("updates_sent", 0),
@@ -416,6 +428,7 @@ def run_experiment(
         truncated=truncated,
         warmup_wall=warmup_wall,
         convergence_wall=convergence_wall,
+        dataplane=dataplane_summary,
     )
     if obs is not None:
         obs.note_trial(

@@ -98,6 +98,21 @@ class SweepPoint:
     def messages(self) -> float:
         return self.result.mean_messages
 
+    @property
+    def unreachable(self) -> float:
+        """Mean data-plane unreachability (node-seconds) per trial.
+
+        Averaged over the trials that carry a data-plane summary; 0.0
+        when the point ran with monitors off (e.g. cached results from
+        an unmonitored sweep).
+        """
+        values = [
+            t.dataplane["unreachable_seconds_total"]
+            for t in self.result.trials
+            if getattr(t, "dataplane", None)
+        ]
+        return sum(values) / len(values) if values else 0.0
+
 
 @dataclass
 class Series:
@@ -132,6 +147,16 @@ class Series:
         for p in self.points:
             if p.x == x:
                 return p.messages
+        raise KeyError(f"no point at {self.x_name}={x}")
+
+    @property
+    def unreachables(self) -> List[float]:
+        return [p.unreachable for p in self.points]
+
+    def unreachable_at(self, x: float) -> float:
+        for p in self.points:
+            if p.x == x:
+                return p.unreachable
         raise KeyError(f"no point at {self.x_name}={x}")
 
     def argmin_delay(self) -> float:

@@ -27,6 +27,7 @@ from repro.figures import (
     fig11,
     fig12,
     fig13,
+    figdp01,
 )
 from repro.figures.common import (
     FULL,
@@ -52,6 +53,7 @@ _MODULES = (
     fig11,
     fig12,
     fig13,
+    figdp01,
 )
 
 FIGURES: Dict[str, ModuleType] = {m.FIGURE_ID: m for m in _MODULES}

@@ -1,0 +1,85 @@
+"""Fig DP1 — Data-plane unreachability vs failure size (not in the paper).
+
+The paper argues that shrinking convergence delay shrinks the window in
+which the data plane is broken; this companion figure measures that
+window directly.  Every scheme from the dynamic-vs-constant comparison
+(Fig 7's set) is re-run with the data-plane monitor on, and schemes are
+compared on *unreachable node-seconds* — the time integral, over alive
+(source, destination) pairs, of packets being blackholed or caught in
+transient forwarding loops — instead of settle time.
+
+Expected shape: a low constant MRAI converges slowly for large failures
+(path hunting), a high constant MRAI converges slowly for small ones
+(idle timer padding); either way the data plane stays broken for longer.
+Dynamic MRAI tracks the better constant across the range, so its total
+unreachability over the sweep should undercut every constant.
+
+Monitors perturb nothing (the trajectory is bit-identical — see
+tests/test_obs_dataplane.py), so the delay/message numbers here match
+the unmonitored figures; the sweep is recomputed rather than shared with
+:func:`~repro.figures.common.three_mrai_failure_sweep` because that
+cache holds monitor-less results.
+"""
+
+from __future__ import annotations
+
+from repro.figures.common import (
+    FigureOutput,
+    ScaleProfile,
+    check_le,
+    scheme_set_failure_sweep,
+)
+from contextlib import nullcontext
+
+from repro.obs.session import ObsSession, active_session, observe
+
+FIGURE_ID = "figdp01"
+CAPTION = "Data-plane unreachability vs failure size (dynamic vs constant MRAI)"
+
+
+def compute(profile: ScaleProfile) -> FigureOutput:
+    # Reuse the caller's session when it already monitors the data
+    # plane (e.g. `sweep --figure figdp01 --dataplane-out ...`) so its
+    # sink sees the transitions; otherwise install a private one.
+    outer = active_session()
+    if outer is not None and outer.dataplane_enabled:
+        scope = nullcontext()
+    else:
+        scope = observe(ObsSession(dataplane=True))
+    with scope:
+        series = list(
+            scheme_set_failure_sweep("dynamic_vs_constant", profile)
+        )
+    constants, dynamic = series[:-1], series[-1]
+    f_large = profile.largest_fraction
+
+    checks = []
+    for constant in constants:
+        checks.append(
+            check_le(
+                f"dynamic total unreachability <= {constant.label} "
+                f"over the sweep",
+                sum(dynamic.unreachables),
+                sum(constant.unreachables),
+                slack=1.05,
+            )
+        )
+    low = constants[0]
+    checks.append(
+        check_le(
+            "dynamic beats the low constant MRAI on unreachability "
+            "for the largest failure",
+            dynamic.unreachable_at(f_large),
+            low.unreachable_at(f_large),
+            slack=1.05,
+            strict=False,
+        )
+    )
+    return FigureOutput(
+        figure_id=FIGURE_ID,
+        caption=CAPTION,
+        series=series,
+        metrics=("unreachable", "delay"),
+        checks=checks,
+        profile_name=profile.name,
+    )

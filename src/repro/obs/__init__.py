@@ -8,6 +8,11 @@ event-loop hotspot profile.  See docs/OBSERVABILITY.md for the catalogue.
 """
 
 from repro.obs.causality import CausalEvent, CausalGraph, load_trace
+from repro.obs.dataplane import (
+    DataPlaneJsonlSink,
+    DataPlaneMonitor,
+    dataplane_jsonl_sink,
+)
 from repro.obs.live import (
     LiveMonitor,
     default_progress,
@@ -52,6 +57,8 @@ __all__ = [
     "CounterMetric",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "DataPlaneJsonlSink",
+    "DataPlaneMonitor",
     "EventLoopProfiler",
     "Gauge",
     "HandlerStats",
@@ -68,6 +75,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "active_session",
+    "dataplane_jsonl_sink",
     "default_progress",
     "format_metric_name",
     "handler_category",

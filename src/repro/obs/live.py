@@ -196,11 +196,17 @@ class LiveMonitor:
         """
         if self.last is None:
             return float("inf")
-        executed = max(1, self.last.done - self.cached)
         remaining = self.last.total - self.last.done
-        if self.last.busy_seconds > 0:
+        if remaining <= 0:
+            return 0.0
+        executed = self.last.done - self.cached
+        if self.last.busy_seconds > 0 and executed > 0:
             return remaining * (self.last.busy_seconds / executed) / self.jobs
-        return self.last.eta
+        if self.last.done > 0 and self.last.elapsed > 0:
+            return self.last.eta
+        # First heartbeat (nothing completed yet, or only cached hits
+        # with no wall times): no basis for an estimate.
+        return float("inf")
 
     def snapshot(self) -> Dict[str, Any]:
         """The full telemetry record (one heartbeat line's payload)."""

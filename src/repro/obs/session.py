@@ -47,6 +47,7 @@ from repro.obs.spans import SpanRecorder, record_spans, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.bgp.network import BGPNetwork
+    from repro.obs.dataplane import DataPlaneMonitor
     from repro.sim.trace import TraceRecord, Tracer
 
 #: Categories a session tracer records by default: exactly what the
@@ -115,6 +116,18 @@ class ObsSession:
         it so instrumented orchestration code records hierarchical
         wall-clock spans, worker sessions round-trip theirs home, and
         :meth:`export` writes ``spans.json`` (Chrome trace format).
+    dataplane:
+        When True, every attached network gets a
+        :class:`~repro.obs.dataplane.DataPlaneMonitor`; the trial's
+        unavailability summary lands on ``TrialResult.dataplane``, the
+        trial snapshot, and the manifest rollup.  Trajectory-neutral
+        (the monitor only reads simulator state).
+    dataplane_sink:
+        Optional per-record callable (e.g. a
+        :class:`~repro.obs.dataplane.DataPlaneJsonlSink`) receiving
+        every transition record plus per-trial ``dataplane_trial``
+        delimiters, for offline ``dataplane report``; implies
+        ``dataplane``.
     """
 
     def __init__(
@@ -127,6 +140,8 @@ class ObsSession:
         trace_categories: Optional[Set[str]] = None,
         trace_max_records: Optional[int] = None,
         spans: bool = False,
+        dataplane: bool = False,
+        dataplane_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
@@ -171,6 +186,15 @@ class ObsSession:
         #: Raw trace records captured for the parent (worker sessions
         #: built by :meth:`for_worker` with ``capture_trace`` only).
         self._captured_trace: Optional[List["TraceRecord"]] = None
+        self.dataplane_enabled = bool(dataplane) or dataplane_sink is not None
+        self.dataplane_sink = dataplane_sink
+        #: Per-trial data-plane impact summaries (headline dicts).
+        self.dataplane_summaries: List[Dict[str, Any]] = []
+        self.last_dataplane: Optional[Dict[str, Any]] = None
+        self._dataplane_monitor: Optional["DataPlaneMonitor"] = None
+        #: Raw data-plane records captured for the parent (worker
+        #: sessions with ``capture_dataplane`` only).
+        self._captured_dataplane: Optional[List[Dict[str, Any]]] = None
 
     # ------------------------------------------------------------------
     # Hooks called by the experiment layer
@@ -215,6 +239,12 @@ class ObsSession:
             )
             probe.start()
             self.probes.append(probe)
+        if self.dataplane_enabled:
+            from repro.obs.dataplane import DataPlaneMonitor
+
+            monitor = DataPlaneMonitor()
+            monitor.attach(network)
+            self._dataplane_monitor = monitor
 
     def on_failure(self, network: "BGPNetwork") -> None:
         """Re-arm the probe after failure injection (it detaches at
@@ -276,7 +306,56 @@ class ObsSession:
             self.last_exploration = exploration
             self._tracer.clear()
             self._tracer = None
+        if result is not None and getattr(result, "dataplane", None):
+            snapshot["dataplane"] = result.dataplane
         self.trial_snapshots.append(snapshot)
+
+    def finish_dataplane(
+        self,
+        network: "BGPNetwork",
+        t0: float,
+        seed: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Finalize the trial's data-plane monitor and fold its timeline.
+
+        Called by the experiment layer after convergence, before the
+        :class:`TrialResult` is built.  Returns the headline summary
+        (the ``TrialResult.dataplane`` payload) or None when monitors
+        are off.  Transition records stream to :attr:`dataplane_sink`
+        (or the worker capture buffer) behind a ``dataplane_trial``
+        delimiter so offline reports can split multi-trial files.
+        """
+        monitor = self._dataplane_monitor
+        if monitor is None or network.dataplane is not monitor:
+            return None
+        end = max(network.last_activity, t0)
+        monitor.finalize(end)
+        from repro.analysis.dataplane import DataPlaneTimeline
+
+        timeline = DataPlaneTimeline.from_transitions(
+            monitor.transitions, t0=t0, end=end
+        )
+        summary = timeline.headline()
+        self.dataplane_summaries.append(summary)
+        self.last_dataplane = summary
+        meta: Dict[str, Any] = {
+            "kind": "dataplane_trial",
+            "trial": self._trial_index,
+            "t0": t0,
+            "end": end,
+        }
+        if seed is not None:
+            meta["seed"] = seed
+        if self.dataplane_sink is not None:
+            self.dataplane_sink(meta)
+            for record in monitor.records():
+                self.dataplane_sink(record)
+        elif self._captured_dataplane is not None:
+            self._captured_dataplane.append(meta)
+            self._captured_dataplane.extend(monitor.records())
+        network.dataplane = None
+        self._dataplane_monitor = None
+        return summary
 
     def note_cache(self, hit: bool) -> None:
         """Record one trial-cache lookup outcome (store-backed runs)."""
@@ -315,6 +394,8 @@ class ObsSession:
             "trace_max_records": self.trace_max_records,
             "capture_trace": self.trace_sink is not None,
             "spans": self.span_recorder is not None,
+            "dataplane": self.dataplane_enabled,
+            "capture_dataplane": self.dataplane_sink is not None,
         }
 
     @classmethod
@@ -336,8 +417,11 @@ class ObsSession:
             ),
             trace_max_records=config.get("trace_max_records"),
             spans=bool(config.get("spans")),
+            dataplane=bool(config.get("dataplane")),
         )
         session._captured_trace = captured
+        if config.get("capture_dataplane"):
+            session._captured_dataplane = []
         return session
 
     def worker_payload(self) -> Dict[str, Any]:
@@ -373,6 +457,8 @@ class ObsSession:
                 if self.span_recorder is not None
                 else []
             ),
+            "dataplane": list(self.dataplane_summaries),
+            "dataplane_records": self._captured_dataplane,
         }
 
     def absorb(self, payload: Dict[str, Any]) -> None:
@@ -419,6 +505,16 @@ class ObsSession:
             self.span_recorder.absorb_records(
                 payload.get("spans") or (), prefix="workers"
             )
+        for summary in payload.get("dataplane") or ():
+            self.dataplane_summaries.append(summary)
+            self.last_dataplane = summary
+        if self.dataplane_sink is not None:
+            for record in payload.get("dataplane_records") or ():
+                if record.get("kind") == "dataplane_trial":
+                    # Worker trial indices are all 0; relabel with the
+                    # parent's, like phase names and snapshots above.
+                    record = dict(record, trial=index)
+                self.dataplane_sink(record)
 
     # ------------------------------------------------------------------
     # Finalization + export
@@ -454,6 +550,12 @@ class ObsSession:
             manifest.extra.setdefault(
                 "profiled_events", self.profiler.total_events
             )
+            # Throughput inline, so BENCH_sweep.json and the manifest
+            # agree on the events/s number without re-deriving it.
+            manifest.extra.setdefault(
+                "events_per_second",
+                round(self.profiler.events_per_second, 1),
+            )
             # Top hotspot categories inline, so the heaviest handlers
             # are visible without opening profile.txt.
             manifest.extra.setdefault(
@@ -472,6 +574,10 @@ class ObsSession:
         if self.exploration_summaries:
             manifest.extra.setdefault(
                 "exploration", self.exploration_aggregate()
+            )
+        if self.dataplane_summaries:
+            manifest.extra.setdefault(
+                "dataplane", self.dataplane_aggregate()
             )
         if self.cache_hits or self.cache_misses:
             manifest.extra.setdefault(
@@ -496,6 +602,25 @@ class ObsSession:
             ),
             "settle_p95_max": max(
                 (s["settle"]["p95"] for s in summaries), default=0.0
+            ),
+        }
+
+    def dataplane_aggregate(self) -> Dict[str, Any]:
+        """Data-plane impact rolled up across every monitored trial."""
+        summaries = self.dataplane_summaries
+        totals = [s["unreachable_seconds_total"] for s in summaries]
+        return {
+            "trials": len(summaries),
+            "unreachable_seconds_total": round(sum(totals), 6),
+            "unreachable_seconds_max_trial": round(
+                max(totals, default=0.0), 6
+            ),
+            "loop_episodes": sum(s["loop_episodes"] for s in summaries),
+            "blackhole_episodes": sum(
+                s["blackhole_episodes"] for s in summaries
+            ),
+            "pairs_never_recovered_max": max(
+                (s["pairs_never_recovered"] for s in summaries), default=0
             ),
         }
 

@@ -1,0 +1,229 @@
+"""DataPlaneTimeline analytics, JSONL loading, report CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.dataplane import (
+    DataPlaneTimeline,
+    analyze_dataplane_file,
+    load_dataplane_trials,
+    render_dataplane_report,
+)
+from repro.obs.dataplane import DataPlaneJsonlSink
+
+
+def _timeline(transitions, t0=0.0, end=None):
+    return DataPlaneTimeline.from_transitions(transitions, t0=t0, end=end)
+
+
+# ----------------------------------------------------------------------
+# Timeline construction and windowing
+# ----------------------------------------------------------------------
+def test_segments_clip_to_window():
+    tl = _timeline(
+        [
+            (0.0, 1, 9, "ok", 2),
+            (5.0, 1, 9, "blackhole", None),
+            (8.0, 1, 9, "ok", 3),
+        ],
+        t0=4.0,
+        end=10.0,
+    )
+    segs = tl.pair_segments(1, 9)
+    assert segs == [
+        ("ok", 4.0, 5.0, 2),
+        ("blackhole", 5.0, 8.0, None),
+        ("ok", 8.0, 10.0, 3),
+    ]
+    head = tl.headline()
+    assert head["unreachable_seconds_total"] == pytest.approx(3.0)
+    assert head["blackhole_episodes"] == 1
+    assert head["loop_episodes"] == 0
+    assert head["window_seconds"] == pytest.approx(6.0)
+    # Worst transient ok path was 3 hops; it settles at 3: stretch 1.0...
+    assert head["stretch_max"] == pytest.approx(1.0)
+
+
+def test_pre_window_transitions_establish_initial_state():
+    tl = _timeline(
+        [(1.0, 1, 9, "loop", None), (6.0, 1, 9, "ok", 1)],
+        t0=5.0,
+        end=7.0,
+    )
+    segs = tl.pair_segments(1, 9)
+    assert segs == [("loop", 5.0, 6.0, None), ("ok", 6.0, 7.0, 1)]
+    assert tl.headline()["loop_episodes"] == 1
+
+
+def test_adjacent_same_status_segments_merge_into_one_episode():
+    # hops changes within ok, and two distinct blackhole stints.
+    tl = _timeline(
+        [
+            (0.0, 1, 9, "ok", 2),
+            (1.0, 1, 9, "ok", 4),
+            (2.0, 1, 9, "blackhole", None),
+            (3.0, 1, 9, "ok", 2),
+            (4.0, 1, 9, "blackhole", None),
+            (5.0, 1, 9, "ok", 2),
+        ],
+        t0=0.0,
+        end=6.0,
+    )
+    head = tl.headline()
+    assert head["blackhole_episodes"] == 2
+    assert head["blackhole_seconds"] == pytest.approx(2.0)
+    assert head["stretch_max"] == pytest.approx(2.0)  # 4 hops vs final 2
+
+
+def test_down_time_excluded_from_unreachability():
+    tl = _timeline(
+        [
+            (0.0, 1, 9, "ok", 1),
+            (2.0, 1, 9, "down", None),
+        ],
+        t0=0.0,
+        end=10.0,
+    )
+    head = tl.headline()
+    assert head["unreachable_seconds_total"] == 0.0
+    assert head["down_seconds"] == pytest.approx(8.0)
+    assert head["pairs_never_recovered"] == 0
+
+
+def test_never_recovered_and_destination_percentiles():
+    transitions = [(0.0, n, 9, "blackhole", None) for n in (1, 2, 3)]
+    transitions += [(0.0, n, 8, "ok", 1) for n in (1, 2, 3)]
+    transitions += [(2.0, 1, 8, "blackhole", None), (3.0, 1, 8, "ok", 1)]
+    tl = _timeline(transitions, t0=0.0, end=4.0)
+    head = tl.headline()
+    assert head["pairs_never_recovered"] == 3
+    assert head["destinations"] == 2
+    per_dest = tl.destination_unreachability()
+    assert per_dest[9] == pytest.approx(12.0)  # 3 nodes x 4 s
+    assert per_dest[8] == pytest.approx(1.0)
+    assert head["unreachable_dest_max"] == pytest.approx(12.0)
+    worst = tl.worst_destinations(1)
+    assert worst == [{"dest": 9, "unreachable_seconds": 12.0}]
+
+
+def test_dict_transitions_accepted():
+    tl = _timeline(
+        [
+            {"kind": "dataplane", "time": 0.0, "node": 1, "dest": 9,
+             "status": "loop", "hops": None},
+            {"kind": "dataplane", "time": 1.0, "node": 1, "dest": 9,
+             "status": "ok", "hops": 2},
+        ],
+        t0=0.0,
+    )
+    assert tl.headline()["loop_seconds"] == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# JSONL loading + file-level analysis
+# ----------------------------------------------------------------------
+def _write_sink(path, trials):
+    with DataPlaneJsonlSink(path) as sink:
+        for meta, transitions in trials:
+            sink(meta)
+            for t, node, dest, status, hops in transitions:
+                sink({"kind": "dataplane", "time": t, "node": node,
+                      "dest": dest, "status": status, "hops": hops})
+    return path
+
+
+def test_load_dataplane_trials_split_and_anonymous(tmp_path):
+    path = _write_sink(
+        tmp_path / "dp.jsonl",
+        [
+            ({"kind": "dataplane_trial", "trial": 0, "seed": 1,
+              "t0": 1.0, "end": 3.0},
+             [(1.0, 1, 9, "blackhole", None), (2.0, 1, 9, "ok", 1)]),
+            ({"kind": "dataplane_trial", "trial": 1, "seed": 2,
+              "t0": 0.0, "end": 2.0},
+             [(0.0, 1, 9, "ok", 1)]),
+        ],
+    )
+    trials = load_dataplane_trials(path)
+    assert len(trials) == 2
+    assert trials[0]["seed"] == 1 and len(trials[0]["transitions"]) == 2
+    # No meta records at all: one anonymous trial.
+    bare = tmp_path / "bare.jsonl"
+    bare.write_text(
+        json.dumps({"kind": "dataplane", "time": 0.0, "node": 1,
+                    "dest": 9, "status": "ok", "hops": 1}) + "\n",
+        encoding="utf-8",
+    )
+    assert len(load_dataplane_trials(bare)) == 1
+
+
+def test_load_rejects_malformed_lines(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="invalid JSON"):
+        load_dataplane_trials(bad)
+    arr = tmp_path / "arr.jsonl"
+    arr.write_text("[1, 2]\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="expected an object"):
+        load_dataplane_trials(arr)
+
+
+def test_analyze_file_aggregate_and_render(tmp_path):
+    path = _write_sink(
+        tmp_path / "dp.jsonl",
+        [
+            ({"kind": "dataplane_trial", "trial": 0, "seed": 1,
+              "t0": 0.0, "end": 4.0},
+             [(0.0, 1, 9, "blackhole", None), (1.0, 1, 9, "ok", 1),
+              (0.0, 2, 9, "ok", 1)]),
+            ({"kind": "dataplane_trial", "trial": 1, "seed": 2,
+              "t0": 0.0, "end": 4.0},
+             [(0.0, 1, 9, "loop", None), (3.0, 1, 9, "ok", 2)]),
+        ],
+    )
+    report = analyze_dataplane_file(path)
+    assert report["trials"] == 2
+    agg = report["aggregate"]
+    assert agg["unreachable_seconds_total"] == pytest.approx(4.0)
+    assert agg["unreachable_seconds_max"] == pytest.approx(3.0)
+    assert agg["blackhole_episodes"] == 1
+    assert agg["loop_episodes"] == 1
+    text = render_dataplane_report(report)
+    assert "data-plane impact report: 2 trial(s)" in text
+    assert "trial 0 (seed 1)" in text
+    assert "dest 9" in text
+    # --t0 override narrows the window for every trial.
+    narrowed = analyze_dataplane_file(path, t0=3.5)
+    assert narrowed["aggregate"]["unreachable_seconds_total"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_dataplane_report(tmp_path, capsys):
+    from repro.cli import main
+
+    path = _write_sink(
+        tmp_path / "dp.jsonl",
+        [({"kind": "dataplane_trial", "trial": 0, "seed": 1,
+           "t0": 0.0, "end": 2.0},
+          [(0.0, 1, 9, "blackhole", None), (1.0, 1, 9, "ok", 1)])],
+    )
+    out_path = tmp_path / "report.json"
+    assert main(
+        ["dataplane", "report", str(path), "--out", str(out_path)]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "data-plane impact report" in text
+    saved = json.loads(out_path.read_text(encoding="utf-8"))
+    assert saved["trials"] == 1
+
+    assert main(["dataplane", "report", str(path), "--json"]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["aggregate"]["unreachable_seconds_total"] == 1.0
+
+    assert main(
+        ["dataplane", "report", str(tmp_path / "missing.jsonl")]
+    ) == 2
+    assert "cannot analyze" in capsys.readouterr().err

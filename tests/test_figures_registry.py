@@ -28,8 +28,15 @@ from repro.figures.common import (
 
 
 def test_all_thirteen_figures_registered():
-    paper_figures = [f for f in FIGURES if f.startswith("fig")]
+    paper_figures = [
+        f for f in FIGURES if f.startswith("fig") and f[3:].isdigit()
+    ]
     assert sorted(paper_figures) == [f"fig{i:02d}" for i in range(1, 14)]
+
+
+def test_dataplane_figure_registered():
+    assert "figdp01" in FIGURES
+    assert "unreachab" in FIGURES["figdp01"].CAPTION.lower()
 
 
 def test_ablations_registered():

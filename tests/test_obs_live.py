@@ -55,6 +55,37 @@ def test_monitor_eta_uses_trial_wall_times():
     assert mon2.eta_seconds() == pytest.approx(tick.eta)
 
 
+def test_monitor_eta_first_heartbeat_has_no_estimate():
+    """Zero completed trials / zero busy seconds must not divide by zero
+    or fabricate an ETA on the first heartbeat."""
+    mon = LiveMonitor(jobs=2, stream=None)
+    mon(_tick(0, 10, elapsed=0.0, busy=0.0))
+    assert mon.eta_seconds() == float("inf")
+    assert mon.snapshot()["eta_seconds"] is None
+    assert "eta ?" in mon.status_line()
+
+
+def test_monitor_eta_finished_run_is_zero():
+    mon = LiveMonitor(jobs=2, stream=None)
+    mon(_tick(10, 10, elapsed=5.0, busy=4.0))
+    assert mon.eta_seconds() == 0.0
+
+
+def test_monitor_eta_all_cached_with_stray_busy_seconds():
+    """busy_seconds > 0 with zero *executed* trials (everything was a
+    cache hit) must not extrapolate from a zero divisor; it falls back
+    to the tick's elapsed/done estimate."""
+
+    class _Session:
+        cache_hits = 3
+        cache_misses = 0
+
+    mon = LiveMonitor(jobs=2, stream=None, session=_Session())
+    tick = _tick(3, 10, elapsed=1.0, busy=5.0)
+    mon(tick)
+    assert mon.eta_seconds() == pytest.approx(tick.eta)
+
+
 def test_monitor_failed_and_no_stream():
     mon = LiveMonitor(jobs=1, stream=None)
     mon(_tick(2, 5, failed=3))

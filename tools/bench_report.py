@@ -16,10 +16,11 @@ and observability absorption — the "why is jobs=4 not 4x" answer.
     PYTHONPATH=src python tools/bench_report.py --spans spans.json
     PYTHONPATH=src python tools/bench_report.py --overhead-check
 
-``--overhead-check`` is the CI gate for the tracing layer itself: it
-micro-benchmarks the *disabled* ``span()`` fast path and asserts the
-projected per-trial cost stays under 2% of the most recent benchmark's
-serial per-trial wall time (exit 1 otherwise).
+``--overhead-check`` is the CI gate for the instrumentation layer
+itself: it micro-benchmarks the *disabled* ``span()`` fast path and the
+monitors-off data-plane hook site and asserts each projected per-trial
+cost stays under 2% of the most recent benchmark's serial per-trial
+wall time (exit 1 otherwise).
 """
 
 from __future__ import annotations
@@ -44,6 +45,12 @@ from repro.obs.spans import record_spans, span  # noqa: E402
 #: trial.execute, trial.warmup, trial.failure, trial.convergence, plus
 #: amortized per-run spans) — the multiplier for the overhead gate.
 SPANS_PER_TRIAL = 16
+
+#: Data-plane monitor hook sites executed per trial with monitors *off*
+#: (one ``network.dataplane`` read + None check per best-route change).
+#: Sized to the route-change counts of the largest bench trials, with
+#: headroom.
+MONITOR_HOOKS_PER_TRIAL = 4096
 
 
 def load_history(path: Path) -> List[Dict]:
@@ -262,20 +269,48 @@ def enabled_span_cost(iterations: int = 50_000) -> float:
     return elapsed / iterations
 
 
+def disabled_monitor_cost(iterations: int = 200_000) -> float:
+    """Mean seconds per monitors-off data-plane hook site.
+
+    Replicates the exact hot-path shape in ``BGPSpeaker._reselect``:
+    one attribute read on the network object plus a None check.
+    """
+
+    class _Net:
+        dataplane = None
+
+    net = _Net()
+    for _ in range(1000):
+        if net.dataplane is not None:  # pragma: no cover - always None
+            raise AssertionError
+    start = time.perf_counter()
+    for _ in range(iterations):
+        dataplane = net.dataplane
+        if dataplane is not None:  # pragma: no cover - always None
+            raise AssertionError
+    return (time.perf_counter() - start) / iterations
+
+
 def overhead_check(
     history: List[Dict], budget: float = 0.02
 ) -> int:
-    """Exit status of the disabled-spans overhead gate.
+    """Exit status of the disabled-instrumentation overhead gate.
 
-    Projects ``SPANS_PER_TRIAL`` disabled span() calls against the most
-    recent benchmark record's serial per-trial wall time and fails when
-    the projection exceeds ``budget`` (default 2%).
+    Projects ``SPANS_PER_TRIAL`` disabled span() calls and
+    ``MONITOR_HOOKS_PER_TRIAL`` monitors-off data-plane hook sites
+    against the most recent benchmark record's serial per-trial wall
+    time; fails when either projection exceeds ``budget`` (default 2%).
     """
     per_span = disabled_span_cost()
     per_span_on = enabled_span_cost()
+    per_hook = disabled_monitor_cost()
     print(
         f"span cost: disabled {per_span * 1e9:,.0f} ns/span, "
         f"enabled {per_span_on * 1e9:,.0f} ns/span"
+    )
+    print(
+        f"data-plane hook cost (monitors off): "
+        f"{per_hook * 1e9:,.0f} ns/hook"
     )
     per_trial_wall = None
     for record in reversed(history):
@@ -298,7 +333,16 @@ def overhead_check(
         f"vs {per_trial_wall * 1e3:.1f} ms/trial serial wall "
         f"({share:.3%} of budget {budget:.0%}) — {verdict}"
     )
-    return 0 if share < budget else 1
+    hook_projected = MONITOR_HOOKS_PER_TRIAL * per_hook
+    hook_share = hook_projected / per_trial_wall
+    hook_verdict = "ok" if hook_share < budget else "FAIL"
+    print(
+        f"monitor gate:  {MONITOR_HOOKS_PER_TRIAL} hooks/trial x "
+        f"{per_hook * 1e9:.1f} ns = {hook_projected * 1e6:.1f} us/trial "
+        f"vs {per_trial_wall * 1e3:.1f} ms/trial serial wall "
+        f"({hook_share:.3%} of budget {budget:.0%}) — {hook_verdict}"
+    )
+    return 0 if share < budget and hook_share < budget else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -331,8 +375,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--overhead-check",
         action="store_true",
-        help="micro-benchmark the disabled span() path and fail if the "
-        "projected per-trial cost exceeds 2%% of serial trial wall",
+        help="micro-benchmark the disabled span() path and the "
+        "monitors-off data-plane hook and fail if either projected "
+        "per-trial cost exceeds 2%% of serial trial wall",
     )
     args = parser.parse_args(argv)
 
