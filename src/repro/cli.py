@@ -237,6 +237,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_pool_summary(jobs: int) -> None:
+    """One stderr line on what the warm worker pool amortized.
+
+    Printed after parallel sweeps/campaigns, mirroring the store's
+    hit/miss line: how many workers the whole command actually booted
+    vs reused, and how often trials found their topology already cached
+    worker-side.
+    """
+    if jobs <= 1:
+        return
+    from repro.core.parallel import pool_stats
+
+    totals = pool_stats()
+    if not totals["runs"]:
+        return
+    hits = int(totals["cache_hits"])
+    looked_up = hits + int(totals["cache_misses"])
+    rate = hits / looked_up if looked_up else 1.0
+    print(
+        f"pool: {int(totals['workers_spawned'])} worker(s) spawned, "
+        f"{int(totals['workers_reused'])} reuse(s) over "
+        f"{int(totals['runs'])} run(s), topology cache {hits}/{looked_up} "
+        f"hits ({rate:.0%}), spin-up {totals['spinup_seconds']:.2f}s",
+        file=sys.stderr,
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     # Imported lazily: the figure registry lives with the benchmarks.
     from repro.figures import FIGURES, compute_figure
@@ -307,6 +334,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"{len(store)} trials banked)",
                 file=sys.stderr,
             )
+        _print_pool_summary(args.jobs)
         _finish_obs(obs, args, command=f"sweep --figure {args.figure}")
     return 0
 
@@ -463,6 +491,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
                 command=f"campaign {args.campaign_command} {args.file}",
                 extra={"campaign": campaign.name, "store": store_path},
             )
+        _print_pool_summary(args.jobs)
         _finish_obs(obs, args, command=f"campaign run {args.file}")
     return 0
 

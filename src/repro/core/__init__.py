@@ -5,8 +5,9 @@
   utilization / message-count overload monitors (Sec 4.3);
 * :mod:`repro.core.experiment` — warm-up, failure injection, convergence
   measurement, multi-trial aggregation;
-* :mod:`repro.core.parallel` — trial-execution backends (serial and
-  multi-process) with deterministic seed fan-out;
+* :mod:`repro.core.parallel` — trial-execution backends (serial, and a
+  persistent warm worker pool with per-worker topology caches) with
+  deterministic seed fan-out;
 * :mod:`repro.core.sweep` — parameter sweeps producing the series behind
   every figure;
 * :mod:`repro.core.validation` — post-convergence routing correctness
@@ -30,16 +31,21 @@ from repro.core.experiment import (
     run_trials,
 )
 from repro.core.parallel import (
+    PoolRunStats,
     ProcessExecutor,
     SerialExecutor,
     TrialExecutionError,
     TrialExecutor,
     TrialTask,
+    WorkerPool,
     derive_trial_seeds,
     get_default_jobs,
+    get_worker_pool,
     make_executor,
     parallel_jobs,
+    pool_stats,
     set_default_jobs,
+    shutdown_worker_pool,
 )
 from repro.core.sweep import Series, SweepPoint, failure_size_sweep, mrai_sweep
 from repro.core.theory import (
@@ -60,6 +66,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "MessageCountController",
+    "PoolRunStats",
     "ProcessExecutor",
     "Progress",
     "RoutingViolation",
@@ -71,19 +78,23 @@ __all__ = [
     "TrialResult",
     "TrialTask",
     "UtilizationController",
+    "WorkerPool",
     "derive_trial_seeds",
     "failure_size_sweep",
     "get_default_jobs",
+    "get_worker_pool",
     "labovitz_clique_bound",
     "make_executor",
     "mrai_sweep",
     "parallel_jobs",
     "pei_unloaded_bound",
+    "pool_stats",
     "recommend_ladder",
     "recommend_mrai",
     "run_experiment",
     "run_trials",
     "set_default_jobs",
     "saturation_mrai_ratio",
+    "shutdown_worker_pool",
     "validate_routing",
 ]

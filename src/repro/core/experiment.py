@@ -502,10 +502,22 @@ def run_trials(
                     topology_factory, spec, seeds, progress, obs, store
                 )
         executor = make_executor(resolved_jobs)
-    with span("trials.run", trials=len(seeds), jobs=executor.jobs):
-        return _run_trials_executor(
+    with span("trials.run", trials=len(seeds), jobs=executor.jobs) as sp:
+        result = _run_trials_executor(
             topology_factory, spec, seeds, progress, obs, executor, store
         )
+        # Pool-backed executors report what the warm pool reused; the
+        # attrs ride the span so bench_report's gap attribution can see
+        # cache hits and true spin-up without re-running anything.
+        stats = getattr(executor, "last_stats", None)
+        if stats is not None:
+            sp.set(
+                pool_run=stats.pool_run,
+                workers_reused=stats.workers_reused,
+                topology_cache_hit_rate=round(stats.cache_hit_rate, 4),
+                spinup_seconds=round(stats.spinup_seconds, 6),
+            )
+        return result
 
 
 def _run_trials_inline(

@@ -181,7 +181,10 @@ def failure_size_sweep(
     ``progress`` receives one :class:`Progress` tick per completed trial,
     with totals and ETA covering the whole sweep.  ``jobs`` selects the
     trial-execution backend (see :func:`repro.core.experiment.run_trials`);
-    results are bit-identical across ``jobs`` values.  ``store`` enables
+    results are bit-identical across ``jobs`` values.  Successive points
+    share the process-wide warm :class:`repro.core.parallel.WorkerPool`,
+    so worker startup is paid once for the whole sweep and each point's
+    topology ships to a given worker at most once.  ``store`` enables
     content-addressed trial caching: already-stored points are folded
     without re-running (see :mod:`repro.store`).
     """

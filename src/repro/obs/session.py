@@ -431,8 +431,14 @@ class ObsSession:
         with :meth:`absorb`.  Phase names are raw (``warmup`` etc.)
         because a worker session only ever sees trial 0 — the parent
         relabels them with the global trial index.
+
+        Sections the session never recorded (no profiler, no probes, no
+        trace sink, …) are pruned before pickling — :meth:`absorb` reads
+        every key with a default, so an absent section and an empty one
+        fold identically, and the cross-process message stays as small
+        as what was actually observed.
         """
-        return {
+        payload = {
             "seed": self._seeds[-1] if self._seeds else None,
             "spec": self._last_spec,
             "topology": self._last_topology,
@@ -459,6 +465,11 @@ class ObsSession:
             ),
             "dataplane": list(self.dataplane_summaries),
             "dataplane_records": self._captured_dataplane,
+        }
+        return {
+            key: value
+            for key, value in payload.items()
+            if value or key in ("seed", "spec")
         }
 
     def absorb(self, payload: Dict[str, Any]) -> None:

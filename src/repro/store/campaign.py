@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -52,6 +51,7 @@ from repro.core.parallel import (
     derive_trial_seeds,
     execute_trial,
     get_default_jobs,
+    get_worker_pool,
 )
 from repro.core.sweep import Series
 from repro.obs.live import default_progress
@@ -693,21 +693,13 @@ def _run_batch(
         for task in tasks:
             yield _guarded_execute(task)
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = [pool.submit(_guarded_execute, task) for task in tasks]
-        for future in as_completed(futures):
-            try:
-                yield future.result()
-            except Exception as exc:  # worker process died entirely
-                # Which task this was is unrecoverable from the future
-                # alone; map back via identity.
-                index = futures.index(future)
-                yield (
-                    tasks[index].index,
-                    None,
-                    None,
-                    f"{type(exc).__name__}: {exc}",
-                )
+    # The persistent warm pool: workers (and their topology caches)
+    # survive across batches and retry rounds, and campaigns group
+    # trials by grid cell, so after the first batch nearly every chunk
+    # lands on a worker that already holds its topology.  Trial failures
+    # and worker deaths come back as error outcomes, which is exactly
+    # the contract the retry loop wants.
+    yield from get_worker_pool().run_guarded(tasks, jobs=jobs)
 
 
 def _fold(

@@ -5,13 +5,18 @@ The headline property under test: ``jobs=N`` is bit-identical to
 session records.
 """
 
+import multiprocessing
+
 import pytest
 
 from repro.bgp.mrai import ConstantMRAI
 from repro.core.experiment import ExperimentSpec, run_trials
 from repro.core.parallel import (
+    ProcessExecutor,
     SerialExecutor,
     TrialExecutionError,
+    TrialTask,
+    WorkerPool,
     derive_trial_seeds,
     get_default_jobs,
     make_executor,
@@ -199,3 +204,165 @@ def test_unobserved_parallel_run_has_no_payload_cost():
     # No session: workers must not build one either.
     result = run_trials(factory, spec_05(), (1, 2), jobs=2)
     assert len(result.trials) == 2
+
+
+# ----------------------------------------------------------------------
+# The persistent warm worker pool
+# ----------------------------------------------------------------------
+def test_warm_pool_reuse_bitwise_across_runs():
+    # Two consecutive run_trials calls against the same pool: the
+    # second must reuse every worker (no respawn, no spin-up) and both
+    # must match the serial baseline bit for bit.
+    spec = spec_05()
+    serial = run_trials(factory, spec, SEEDS, jobs=1)
+    pool = WorkerPool()
+    try:
+        executor = ProcessExecutor(2, pool=pool)
+        first = run_trials(factory, spec, SEEDS, executor=executor)
+        stats1 = executor.last_stats
+        assert stats1.workers_spawned == 2
+        assert stats1.workers_reused == 0
+        second = run_trials(factory, spec, SEEDS, executor=executor)
+        stats2 = executor.last_stats
+        assert stats2.workers_spawned == 0
+        assert stats2.workers_reused == 2
+        assert stats2.spinup_seconds == 0.0
+        # The warm pool already holds every topology: all cache hits,
+        # nothing re-shipped.
+        assert stats2.cache_hits == len(SEEDS)
+        assert stats2.cache_misses == 0
+        assert stats2.shipped_topologies == 0
+        assert result_signature(first) == result_signature(serial)
+        assert result_signature(second) == result_signature(serial)
+    finally:
+        pool.close()
+
+
+def test_fork_and_spawn_start_methods_identical():
+    spec = spec_05()
+    serial = run_trials(factory, spec, SEEDS, jobs=1)
+    methods = [
+        m
+        for m in ("fork", "spawn")
+        if m in multiprocessing.get_all_start_methods()
+    ]
+    assert methods, "no usable start method?"
+    for method in methods:
+        pool = WorkerPool(start_method=method)
+        try:
+            executor = ProcessExecutor(2, pool=pool)
+            result = run_trials(factory, spec, SEEDS, executor=executor)
+            assert result_signature(result) == result_signature(
+                serial
+            ), method
+        finally:
+            pool.close()
+
+
+def test_topology_cache_eviction_on_digest_change():
+    # A capacity-1 cache with three distinct topologies forces
+    # evictions (spawn: nothing is fork-pinned, every topology goes
+    # through the LRU) — results must stay correct throughout.
+    spec = spec_05()
+    serial = run_trials(factory, spec, SEEDS, jobs=1)
+    pool = WorkerPool(start_method="spawn", cache_capacity=1)
+    try:
+        executor = ProcessExecutor(2, pool=pool)
+        result = run_trials(factory, spec, SEEDS, executor=executor)
+        stats = executor.last_stats
+        assert result_signature(result) == result_signature(serial)
+        assert stats.unique_topologies == len(SEEDS)
+        assert stats.cache_misses == len(SEEDS)  # each shipped once
+        assert stats.evictions >= 1  # capacity 1 cannot hold two
+        # Re-running re-ships whatever was evicted; the parent's mirror
+        # of each worker cache must stay exact (a divergence would
+        # surface as a "worker lost topology" trial error).
+        again = run_trials(factory, spec, SEEDS, executor=executor)
+        assert result_signature(again) == result_signature(serial)
+    finally:
+        pool.close()
+
+
+def test_midchunk_failure_surfaces_trial_execution_error():
+    # All three trials ride ONE chunk (chunk_size=3, same topology);
+    # the poisoned middle trial must surface as TrialExecutionError
+    # with its index and seed, even though the chunk started fine.
+    topology = factory(1)
+    good = spec_05()
+    poisoned = good.with_(max_warmup_time=1e-6)
+    tasks = [
+        TrialTask(index=0, topology=topology, spec=good, seed=11),
+        TrialTask(index=1, topology=topology, spec=poisoned, seed=12),
+        TrialTask(index=2, topology=topology, spec=good, seed=13),
+    ]
+    pool = WorkerPool()
+    try:
+        executor = ProcessExecutor(2, pool=pool, chunk_size=3)
+        with pytest.raises(TrialExecutionError) as exc_info:
+            executor.run(tasks)
+        assert exc_info.value.index == 1
+        assert exc_info.value.seed == 12
+        # The pool survives the failure: the next run works and reuses
+        # the same workers.
+        outcomes = executor.run(
+            [TrialTask(index=0, topology=topology, spec=good, seed=11)]
+        )
+        assert len(outcomes) == 1
+        assert executor.last_stats.workers_spawned == 0
+    finally:
+        pool.close()
+
+
+def test_run_guarded_reports_errors_without_aborting():
+    # The campaign backend: failures come back as error outcomes, the
+    # healthy trials still complete.
+    topology = factory(1)
+    good = spec_05()
+    poisoned = good.with_(max_warmup_time=1e-6)
+    tasks = [
+        TrialTask(index=0, topology=topology, spec=good, seed=21),
+        TrialTask(index=1, topology=topology, spec=poisoned, seed=22),
+        TrialTask(index=2, topology=topology, spec=good, seed=23),
+    ]
+    pool = WorkerPool()
+    try:
+        outcomes = sorted(pool.run_guarded(tasks, jobs=2))
+        assert [index for index, *_ in outcomes] == [0, 1, 2]
+        by_index = {index: rest for index, *rest in outcomes}
+        assert by_index[0][0] is not None and by_index[0][2] is None
+        assert by_index[2][0] is not None and by_index[2][2] is None
+        assert by_index[1][0] is None
+        assert by_index[1][2]  # the error string names the exception
+    finally:
+        pool.close()
+
+
+def test_obs_spans_dataplane_roundtrip_jobs2():
+    # Spans, metrics and data-plane summaries must survive the worker
+    # round-trip with the renumbering the serial path would produce.
+    def observed(jobs):
+        obs = ObsSession(spans=True, dataplane=True)
+        result = run_trials(factory, spec_05(), SEEDS, obs=obs, jobs=jobs)
+        return obs, result
+
+    serial_obs, serial_result = observed(1)
+    parallel_obs, parallel_result = observed(2)
+    assert result_signature(serial_result) == result_signature(
+        parallel_result
+    )
+    # Data-plane summaries are simulation state: exact match, in order.
+    assert parallel_obs.dataplane_summaries == serial_obs.dataplane_summaries
+    assert [t.dataplane for t in parallel_result.trials] == [
+        t.dataplane for t in serial_result.trials
+    ]
+    # Worker spans land under the workers/ prefix; every trial must
+    # contribute its execute span to the grafted tree.
+    paths = [
+        record["path"] for record in parallel_obs.span_recorder.records
+    ]
+    worker_execs = [
+        p
+        for p in paths
+        if p.startswith("workers/") and p.endswith("trial.execute")
+    ]
+    assert len(worker_execs) == len(SEEDS)

@@ -99,7 +99,7 @@ def render_trend(history: List[Dict], last: int = 10) -> str:
         f"bench trend ({len(shown)} of {len(history)} record(s), "
         f"newest last):",
         f"{'recorded':<21} {'workload':<14} {'serial s':>9} "
-        f"{'ev/s':>10} {'best speedup':>13}",
+        f"{'ev/s':>10} {'best speedup':>13} {'cache':>6}",
     ]
     for record in shown:
         stamp = str(record.get("recorded_utc", "?"))[:19]
@@ -114,14 +114,21 @@ def render_trend(history: List[Dict], last: int = 10) -> str:
             ),
             default=0.0,
         )
-        best_jobs = next(
-            (
-                row.get("jobs")
-                for row in record.get("runs", [])
-                if row.get("jobs", 1) != 1
+        best_jobs = None
+        best_pool = None
+        for row in record.get("runs", []):
+            if (
+                row.get("jobs", 1) != 1
                 and float(row.get("speedup", 0.0)) == best
-            ),
-            None,
+            ):
+                best_jobs = row.get("jobs")
+                best_pool = row.get("pool")
+                break
+        hit_rate = (
+            f"{best_pool['topology_cache_hit_rate']:>5.0%}"
+            if isinstance(best_pool, dict)
+            and "topology_cache_hit_rate" in best_pool
+            else f"{'—':>5}"
         )
         lines.append(
             f"{stamp:<21} {_workload(record):<14} "
@@ -132,6 +139,7 @@ def render_trend(history: List[Dict], last: int = 10) -> str:
                 if best
                 else f"{'—':>13}"
             )
+            + f" {hit_rate}"
         )
     firsts = [r for r in (history[0], history[-1])]
     a, b = (_run_row(r, 1) for r in firsts)
@@ -171,14 +179,21 @@ def _total(rollup: Sequence[Dict], *leaves: str, prefix: str = "") -> float:
     return out
 
 
-def _attr_from_trace(path: Path, key: str) -> Optional[float]:
-    """A numeric span attribute from the trace events (e.g. spinup)."""
+def _attrs_from_trace(path: Path, key: str) -> List[float]:
+    """Every numeric value of a span attribute across the trace events."""
     data = json.loads(path.read_text(encoding="utf-8"))
-    for event in data.get("traceEvents", []):
-        value = event.get("args", {}).get(key)
-        if isinstance(value, (int, float)):
-            return float(value)
-    return None
+    return [
+        float(value)
+        for event in data.get("traceEvents", [])
+        for value in [event.get("args", {}).get(key)]
+        if isinstance(value, (int, float))
+    ]
+
+
+def _attr_from_trace(path: Path, key: str) -> Optional[float]:
+    """The first numeric value of a span attribute in the trace events."""
+    values = _attrs_from_trace(path, key)
+    return values[0] if values else None
 
 
 def render_attribution(path: Path, jobs: Optional[int] = None) -> str:
@@ -206,14 +221,27 @@ def render_attribution(path: Path, jobs: Optional[int] = None) -> str:
     if jobs is None:
         jobs_attr = _attr_from_trace(path, "jobs")
         jobs = int(jobs_attr) if jobs_attr else 1
-    spinup = _attr_from_trace(path, "spinup_seconds") or 0.0
+    # A warm pool boots once: later pool.run spans report 0 spin-up, so
+    # the sum over the trace is the run's true one-off warm-up cost.
+    spinup = sum(_attrs_from_trace(path, "spinup_seconds"))
     submit = _total(rollup, "pool.submit")
+    digest = _total(rollup, "pool.digest")
     collect = _total(rollup, "pool.collect")
     fold = _total(rollup, "trials.fold", "campaign.fold")
     absorb = _total(rollup, "obs.absorb")
     store = _total(rollup, "store.get", "store.put", "store.spec_hash")
     topo = _total(rollup, "topology.build")
     seeds = _total(rollup, "parallel.derive_seeds")
+    # Warm-pool reuse attrs ride each pool.run span (PoolRunStats):
+    # spawns total across the trace, reuse peaks once the pool is warm,
+    # and the hit rate is aggregated from the per-run hit/miss counts.
+    reused_values = _attrs_from_trace(path, "workers_reused")
+    spawned_values = _attrs_from_trace(path, "workers_spawned")
+    reused = max(reused_values) if reused_values else None
+    spawned = sum(spawned_values) if spawned_values else None
+    hits = sum(_attrs_from_trace(path, "topology_cache_hits"))
+    misses = sum(_attrs_from_trace(path, "topology_cache_misses"))
+    hit_rate = hits / (hits + misses) if hits + misses else None
     ideal = busy / jobs if jobs else busy
     # Collection time not covered by concurrent worker compute is
     # scheduling/IPC idle — the pool waiting on pickles and stragglers.
@@ -232,6 +260,7 @@ def render_attribution(path: Path, jobs: Optional[int] = None) -> str:
         "  gap attribution:",
         f"    pool spin-up        {spinup:9.3f} s  {pct(spinup)}",
         f"    task submit/pickle  {submit:9.3f} s  {pct(submit)}",
+        f"    topology digest     {digest:9.3f} s  {pct(digest)}",
         f"    collect idle        {collect_idle:9.3f} s  {pct(collect_idle)}",
         f"    result fold         {fold:9.3f} s  {pct(fold)}",
         f"    obs absorb          {absorb:9.3f} s  {pct(absorb)}",
@@ -239,6 +268,14 @@ def render_attribution(path: Path, jobs: Optional[int] = None) -> str:
         f"    topology build      {topo:9.3f} s  {pct(topo)}",
         f"    seed derivation     {seeds:9.3f} s  {pct(seeds)}",
     ]
+    if reused is not None or spawned is not None:
+        reuse_bits = [
+            f"{int(reused or 0)} worker(s) reused",
+            f"{int(spawned or 0)} spawned",
+        ]
+        if hit_rate is not None:
+            reuse_bits.append(f"topology cache hit rate {hit_rate:.0%}")
+        lines.append("  warm pool: " + ", ".join(reuse_bits))
     return "\n".join(lines)
 
 

@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.mrai import ConstantMRAI
 from repro.core.experiment import ExperimentSpec
+from repro.core.parallel import pool_stats, shutdown_worker_pool
 from repro.core.sweep import Series, failure_size_sweep
 from repro.obs.manifest import host_fingerprint
 from repro.topology.skewed import skewed_topology
@@ -91,6 +93,87 @@ def load_history(path: Path) -> List[Dict]:
         legacy = {k: v for k, v in existing.items() if k != "kind"}
         return [legacy]
     return []
+
+
+def pool_row(jobs: int, tasks: int) -> Optional[Dict]:
+    """The warm-pool counters behind one benched jobs value.
+
+    Each jobs value runs against a freshly started pool (the bench shuts
+    the previous one down), so the process-wide totals at this point
+    *are* that run's stats: cache hit rate, mean chunk size, worker
+    reuse across the sweep's points, and the one-off spin-up cost.
+    """
+    if jobs <= 1:
+        return None
+    totals = pool_stats()
+    hits = int(totals["cache_hits"])
+    misses = int(totals["cache_misses"])
+    chunks = int(totals["chunks"]) or 1
+    return {
+        "pool_runs": int(totals["runs"]),
+        "chunks": int(totals["chunks"]),
+        "chunk_size_mean": round(tasks / chunks, 2),
+        "topology_cache_hits": hits,
+        "topology_cache_misses": misses,
+        "topology_cache_hit_rate": round(
+            hits / (hits + misses), 4
+        )
+        if hits + misses
+        else 0.0,
+        "evictions": int(totals["evictions"]),
+        "shipped_topologies": int(totals["shipped_topologies"]),
+        "workers_spawned": int(totals["workers_spawned"]),
+        "workers_reused": int(totals["workers_reused"]),
+        "spinup_seconds": round(totals["spinup_seconds"], 4),
+    }
+
+
+def parse_speedup_floors(specs: Sequence[str]) -> List[Tuple[int, float]]:
+    """Parse repeated ``--assert-speedup JOBS:FLOOR`` arguments."""
+    floors = []
+    for raw in specs:
+        try:
+            jobs_part, floor_part = raw.split(":", 1)
+            floors.append((int(jobs_part), float(floor_part)))
+        except ValueError as exc:
+            raise SystemExit(
+                f"--assert-speedup expects JOBS:FLOOR, got {raw!r}"
+            ) from exc
+    return floors
+
+
+def check_speedup_floors(
+    rows: List[Dict], floors: List[Tuple[int, float]]
+) -> bool:
+    """Enforce speedup floors where the host can physically meet them.
+
+    Parallel speedup needs cores: a floor for jobs=N is only meaningful
+    when the machine has at least N of them (CI runners do; a 1-core
+    container cannot beat serial no matter how warm the pool is).  Under-
+    provisioned hosts get a visible skip, not a spurious failure.
+    Returns True when any enforceable floor was missed.
+    """
+    cores = os.cpu_count() or 1
+    failed = False
+    for jobs, floor in floors:
+        row = next((r for r in rows if r["jobs"] == jobs), None)
+        if row is None:
+            print(f"perf: jobs={jobs} was not benched; cannot assert floor")
+            failed = True
+            continue
+        if cores < jobs:
+            print(
+                f"perf: host has {cores} core(s) < jobs={jobs}; "
+                f"speedup floor {floor:.2f}x not enforceable here — skipped"
+            )
+            continue
+        verdict = "ok" if row["speedup"] >= floor else "BELOW FLOOR"
+        print(
+            f"perf: jobs={jobs} speedup {row['speedup']:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        failed = failed or row["speedup"] < floor
+    return failed
 
 
 def serial_wall(record: Dict) -> float | None:
@@ -161,6 +244,21 @@ def main() -> int:
         help="worker counts to benchmark (must include 1 for the baseline)",
     )
     parser.add_argument(
+        "--jobs-list",
+        metavar="LIST",
+        default=None,
+        help="comma-separated worker counts (e.g. '1,2,4'); overrides "
+        "--jobs so one invocation benches the whole ladder",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        action="append",
+        default=[],
+        metavar="JOBS:FLOOR",
+        help="fail unless the jobs=JOBS speedup reaches FLOOR; repeatable; "
+        "skipped with a warning when the host has fewer than JOBS cores",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny CI configuration (30 nodes, one fraction, jobs 1 2)",
@@ -172,11 +270,14 @@ def main() -> int:
         help="where to write the JSON record (default: ./BENCH_sweep.json)",
     )
     args = parser.parse_args()
+    floors = parse_speedup_floors(args.assert_speedup)
     if args.smoke:
         args.nodes = 30
         args.fractions = [0.1]
         args.seeds = [1, 2]
         args.jobs = [1, 2]
+    if args.jobs_list:
+        args.jobs = [int(part) for part in args.jobs_list.split(",")]
     if 1 not in args.jobs:
         args.jobs = [1] + args.jobs
 
@@ -191,9 +292,14 @@ def main() -> int:
     baseline_sig = None
     identical = True
     for jobs in args.jobs:
+        # Each jobs value gets a freshly started pool, so its wall time
+        # includes the one-off worker warm-up it would pay in real use
+        # and its pool counters are isolated from the previous run's.
+        shutdown_worker_pool()
         start = time.perf_counter()
         series = run_sweep(args.nodes, args.fractions, args.seeds, jobs)
         wall = time.perf_counter() - start
+        pool = pool_row(jobs, trials)
         sig = series_signature(series)
         events = total_events(series)
         if jobs == 1 and baseline_sig is None:
@@ -211,6 +317,8 @@ def main() -> int:
             "events_per_second": round(events / max(wall, 1e-9)),
             "identical_to_serial": matches,
         }
+        if pool is not None:
+            row["pool"] = pool
         rows.append(row)
         flag = "" if matches else "  MISMATCH vs serial!"
         print(
@@ -219,6 +327,18 @@ def main() -> int:
             f"speedup {speedup:5.2f}x  "
             f"{row['events_per_second']:9,d} ev/s{flag}"
         )
+        if pool is not None:
+            print(
+                f"           pool: cache hit rate "
+                f"{pool['topology_cache_hit_rate']:.0%} "
+                f"({pool['topology_cache_hits']} hit / "
+                f"{pool['topology_cache_misses']} miss), "
+                f"chunk size {pool['chunk_size_mean']:.1f}, "
+                f"{pool['workers_spawned']} spawned + "
+                f"{pool['workers_reused']} reused across "
+                f"{pool['pool_runs']} pool runs, "
+                f"spin-up {pool['spinup_seconds']:.2f}s"
+            )
 
     record = {
         "recorded_utc": datetime.now(timezone.utc).isoformat(),
@@ -240,11 +360,15 @@ def main() -> int:
     out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out} ({len(history)} record(s))")
 
+    floor_missed = check_speedup_floors(rows, floors)
     if not identical:
         print("ERROR: parallel results differ from the serial baseline")
         return 1
     if regressed and args.smoke:
         print("ERROR: serial wall time regressed beyond the 20% budget")
+        return 1
+    if floor_missed:
+        print("ERROR: a parallel speedup floor was missed")
         return 1
     return 0
 
