@@ -8,6 +8,9 @@ Main subcommands::
     repro-bgp campaign run mycampaign.json --jobs 4
     repro-bgp campaign validate mycampaign.json
     repro-bgp trace analyze trace.jsonl
+    repro-bgp serve --store results/store.db --jobs 4
+    repro-bgp submit mycampaign.json --wait
+    repro-bgp store stats results/store.db
 
 ``run`` executes one convergence experiment and prints the measurements;
 ``sweep`` regenerates one of the paper's figures (same harness the
@@ -16,7 +19,10 @@ trials are cached content-addressed and never recomputed; ``campaign``
 runs/resumes/validates/inspects/exports declarative sweep grids against
 a store (see docs/STORAGE.md and docs/SPECS.md); ``trace analyze``
 post-processes a ``--trace-out`` JSONL trace into the causal-chain and
-path-exploration report.
+path-exploration report; ``serve``/``submit``/``result``/``queue
+status`` are the campaign service — a daemon serving cached results
+over HTTP and scheduling cold trials on the warm worker pool (see
+docs/SERVICE.md); ``store stats`` inspects a store file directly.
 """
 
 from __future__ import annotations
@@ -618,6 +624,171 @@ def cmd_campaign_validate(args: argparse.Namespace) -> int:
     return 2 if failures else 0
 
 
+def _service_url(args: argparse.Namespace) -> str:
+    """The daemon URL: --url, a --ready-file's contents, or the default."""
+    if getattr(args, "url", None):
+        return args.url
+    ready = getattr(args, "ready_file", None)
+    if ready:
+        import json
+
+        info = json.loads(open(ready, encoding="utf-8").read())
+        return f"http://{info['host']}:{info['port']}"
+    return "http://127.0.0.1:8351"
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service daemon until SIGTERM/SIGINT."""
+    from repro.service import CampaignService, ServiceConfig
+
+    config = ServiceConfig(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        lease_seconds=args.lease,
+        drain_timeout=args.drain_timeout,
+        ready_file=args.ready_file,
+        heartbeat=args.heartbeat,
+        quiet=args.quiet,
+    )
+    return CampaignService(config).run()
+
+
+def _receipt_line(receipt: dict) -> str:
+    total = receipt["total"]
+    pct = round(100.0 * receipt["cached"] / total) if total else 100
+    return (
+        f"ticket {receipt['ticket']}: campaign {receipt['name']} — "
+        f"{total} trials, {receipt['cached']} cached ({pct}%), "
+        f"{receipt['enqueued']} enqueued, "
+        f"{receipt['deduplicated']} deduplicated"
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign grid (or single spec) to a running daemon."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    if args.file == "-":
+        body = json.load(sys.stdin)
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            body = json.load(handle)
+    client = ServiceClient(_service_url(args))
+    try:
+        receipt = client.submit(body)
+        print(_receipt_line(receipt))
+        if args.wait and not receipt["complete"]:
+            status = client.wait(receipt["ticket"], timeout=args.timeout)
+            print(
+                f"ticket {receipt['ticket']} done: "
+                f"{status['done']}/{status['total']} trials banked"
+            )
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    """Fetch and print a completed ticket's folded series."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        result = client.result(args.ticket)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"campaign {result['name']} (axis {result['axis']}, "
+        f"{len(result['seeds'])} seed(s))"
+    )
+    for series in result["series"]:
+        for point in series["points"]:
+            print(
+                f"  {series['label']}: {series['x_name']}={point['x']:g} "
+                f"delay={point['delay']:.3f}s "
+                f"messages={point['messages']:.1f}"
+            )
+    return 0
+
+
+def cmd_queue_status(args: argparse.Namespace) -> int:
+    """Queue depth + drain counters of a running daemon."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        status = client.queue_status()
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    queue = status["queue"]
+    executor = status["executor"]
+    print(
+        f"queue: {queue['pending']} pending, {queue['running']} running, "
+        f"{queue['done']} done, {queue['failed']} failed"
+    )
+    eta = status.get("eta_seconds")
+    print(
+        f"executor {executor['owner']}: {executor['executed']} executed, "
+        f"{executor['retried']} retried, "
+        f"{executor['failed_terminal']} failed "
+        f"(jobs {executor['jobs']}, "
+        f"eta {'?' if eta is None else f'{eta:.0f}s'})"
+    )
+    return 0
+
+
+def cmd_store_stats(args: argparse.Namespace) -> int:
+    """Inspect a store file without opening SQLite by hand."""
+    import json
+
+    from repro.store.result_store import ResultStore
+
+    with ResultStore(args.store) as store:
+        stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    queue = stats["queue"]
+    size = stats["db_bytes"]
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            break
+        size /= 1024
+    print(f"store {stats['path']} (schema v{stats['schema_version']})")
+    print(
+        f"  trials: {stats['trials']} "
+        f"({stats['banked_wall_seconds']:.1f} banked simulation seconds)"
+    )
+    print(
+        f"  campaigns: {stats['campaigns']} manifest(s), "
+        f"tickets: {stats['tickets']}"
+    )
+    print(
+        f"  queue: {queue['pending']} pending, {queue['running']} running, "
+        f"{queue['done']} done, {queue['failed']} failed"
+    )
+    print(f"  size: {size:.1f} {unit}")
+    return 0
+
+
 def cmd_topo(args: argparse.Namespace) -> int:
     """Generate a topology, print its summary, optionally save it."""
     topology = build_topology(args)
@@ -906,6 +1077,144 @@ def make_parser() -> argparse.ArgumentParser:
         help="directory for <name>.csv and <name>.json",
     )
     export_p.set_defaults(func=cmd_campaign_export)
+
+    def add_client_args(parser_):
+        parser_.add_argument(
+            "--url",
+            metavar="URL",
+            help="service base URL (default http://127.0.0.1:8351)",
+        )
+        parser_.add_argument(
+            "--ready-file",
+            metavar="PATH",
+            help="read host/port from a `serve --ready-file` JSON instead "
+            "of --url",
+        )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon (HTTP API + queue executor)",
+    )
+    serve_p.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="store to serve from and bank results into (backend URL or "
+        "SQLite path)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8351,
+        help="TCP port (0 = pick a free one; see --ready-file)",
+    )
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="warm-pool workers for cold trials (prewarmed at boot)",
+    )
+    serve_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max queue tasks leased per executor batch (default 16)",
+    )
+    serve_p.add_argument(
+        "--lease",
+        type=positive_float,
+        default=120.0,
+        metavar="S",
+        help="queue lease duration in seconds (default 120; crashed "
+        "executors' tasks re-dispatch after this)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout",
+        type=positive_float,
+        default=15.0,
+        metavar="S",
+        help="shutdown budget for finishing the in-flight batch "
+        "(default 15s)",
+    )
+    serve_p.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write {host, port, pid, store} JSON once accepting "
+        "(lets scripts use --port 0 without racing the boot)",
+    )
+    serve_p.add_argument(
+        "--heartbeat",
+        metavar="PATH",
+        help="append one JSON telemetry line per completed trial to PATH",
+    )
+    serve_p.add_argument(
+        "--quiet", action="store_true", help="no stderr logging"
+    )
+    serve_p.set_defaults(func=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a campaign grid or single spec to a running daemon",
+    )
+    submit_p.add_argument(
+        "file",
+        help="campaign JSON, single-spec JSON ({topology, scheme, seed}), "
+        "or '-' for stdin",
+    )
+    add_client_args(submit_p)
+    submit_p.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the ticket completes (exit 1 on failure/timeout)",
+    )
+    submit_p.add_argument(
+        "--timeout",
+        type=positive_float,
+        default=600.0,
+        metavar="S",
+        help="--wait deadline in seconds (default 600)",
+    )
+    submit_p.set_defaults(func=cmd_submit)
+
+    result_p = sub.add_parser(
+        "result", help="fetch a completed ticket's folded series"
+    )
+    result_p.add_argument("ticket", help="ticket id from `submit`")
+    add_client_args(result_p)
+    result_p.add_argument(
+        "--json", action="store_true", help="print the full JSON payload"
+    )
+    result_p.set_defaults(func=cmd_result)
+
+    queue_p = sub.add_parser(
+        "queue", help="inspect the service work queue"
+    )
+    queue_sub = queue_p.add_subparsers(dest="queue_command", required=True)
+    queue_status_p = queue_sub.add_parser(
+        "status", help="queue depth per state + executor counters + ETA"
+    )
+    add_client_args(queue_status_p)
+    queue_status_p.add_argument(
+        "--json", action="store_true", help="print the full JSON payload"
+    )
+    queue_status_p.set_defaults(func=cmd_queue_status)
+
+    store_p = sub.add_parser(
+        "store", help="inspect a trial store file directly"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_stats_p = store_sub.add_parser(
+        "stats",
+        help="trial count, banked wall-seconds, manifests, queue, DB size",
+    )
+    store_stats_p.add_argument("store", help="store path (SQLite file)")
+    store_stats_p.add_argument(
+        "--json", action="store_true", help="print the full JSON payload"
+    )
+    store_stats_p.set_defaults(func=cmd_store_stats)
 
     list_p = sub.add_parser(
         "list", help="list reproducible figures and ablations"

@@ -646,8 +646,49 @@ class WorkerPool:
         self.totals["workers_spawned"] += 1
         return handle
 
-    def close(self) -> None:
-        """Shut every worker down and mark the pool unusable."""
+    def prewarm(self, jobs: int, timeout: float = 30.0) -> int:
+        """Spawn up to ``jobs`` workers now; wait for their handshakes.
+
+        Normally workers boot lazily on the first ``run()``.  The
+        campaign service prewarms instead: under the ``fork`` start
+        method children must be forked before the daemon starts its HTTP
+        handler threads (forking a multi-threaded process risks
+        inheriting locks mid-acquire), and an eager boot also moves the
+        spin-up cost out of the first request's latency.  Returns the
+        number of workers that completed the ready handshake within
+        ``timeout`` (stragglers stay usable — the handshake is folded in
+        during the next run).
+        """
+        if self.closed:
+            raise RuntimeError("cannot prewarm a closed WorkerPool")
+        while self.workers_alive < jobs:
+            self._spawn_worker({})
+        deadline = time.monotonic() + timeout
+        while True:
+            waiting = [w for w in self._workers if w.alive and not w.ready]
+            if not waiting:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            for conn in _connection_wait(
+                [w.conn for w in waiting], timeout=remaining
+            ):
+                worker = next(w for w in waiting if w.conn is conn)
+                try:
+                    self._bookkeep(worker, conn.recv(), None, None)
+                except (EOFError, OSError):
+                    worker.alive = False
+                    worker.take_remaining()
+        return sum(1 for w in self._workers if w.alive and w.ready)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down and mark the pool unusable.
+
+        ``timeout`` bounds the cooperative join; workers still alive
+        after it are terminated.  The service daemon passes its drain
+        budget through here so SIGTERM never hangs on a stuck worker.
+        """
         if self.closed:
             return
         self.closed = True
@@ -658,7 +699,7 @@ class WorkerPool:
                 worker.conn.send(("close",))
             except (OSError, ValueError):
                 pass
-        deadline = time.monotonic() + 5.0
+        deadline = time.monotonic() + timeout
         for worker in self._workers:
             if worker.process.is_alive():
                 worker.process.join(max(0.0, deadline - time.monotonic()))
@@ -1093,11 +1134,18 @@ def get_worker_pool() -> WorkerPool:
     return _POOL
 
 
-def shutdown_worker_pool() -> None:
-    """Close the process-wide pool (a new one is created on next use)."""
+def shutdown_worker_pool(timeout: Optional[float] = None) -> None:
+    """Close the process-wide pool (a new one is created on next use).
+
+    ``timeout`` optionally bounds the worker join (see
+    :meth:`WorkerPool.close`); None keeps the default.
+    """
     global _POOL
     if _POOL is not None:
-        _POOL.close()
+        if timeout is None:
+            _POOL.close()
+        else:
+            _POOL.close(timeout=timeout)
         _POOL = None
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -144,6 +145,10 @@ class LiveMonitor:
         self._heartbeat_path = Path(heartbeat) if heartbeat else None
         self._heartbeat_file: Optional[IO[str]] = None
         self._finished = False
+        # The campaign service reads snapshot() from HTTP handler
+        # threads while the executor thread ticks update(); a reentrant
+        # lock (render calls snapshot) keeps the telemetry consistent.
+        self._mutex = threading.RLock()
 
     # ------------------------------------------------------------------
     def __call__(self, progress: "Progress") -> None:
@@ -151,18 +156,19 @@ class LiveMonitor:
 
     def update(self, progress: "Progress") -> None:
         """Fold one progress tick; render unless inside the min interval."""
-        self.last = progress
-        now = time.monotonic()
-        final = progress.done >= progress.total
-        if (
-            not final
-            and self.interval
-            and self._last_render is not None
-            and now - self._last_render < self.interval
-        ):
-            return
-        self._last_render = now
-        self.render()
+        with self._mutex:
+            self.last = progress
+            now = time.monotonic()
+            final = progress.done >= progress.total
+            if (
+                not final
+                and self.interval
+                and self._last_render is not None
+                and now - self._last_render < self.interval
+            ):
+                return
+            self._last_render = now
+            self.render()
 
     # -- derived telemetry ---------------------------------------------
     @property
@@ -210,6 +216,10 @@ class LiveMonitor:
 
     def snapshot(self) -> Dict[str, Any]:
         """The full telemetry record (one heartbeat line's payload)."""
+        with self._mutex:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, Any]:
         progress = self.last
         eta = self.eta_seconds()
         return {
@@ -255,15 +265,16 @@ class LiveMonitor:
 
     # ------------------------------------------------------------------
     def render(self) -> None:
-        line = self.status_line()
-        if self.stream is not None:
-            if self.stream.isatty():
-                self.stream.write("\r\x1b[2K" + line)
-            else:
-                self.stream.write(line + "\n")
-            self.stream.flush()
-        self._write_heartbeat()
-        self.renders += 1
+        with self._mutex:
+            line = self.status_line()
+            if self.stream is not None:
+                if self.stream.isatty():
+                    self.stream.write("\r\x1b[2K" + line)
+                else:
+                    self.stream.write(line + "\n")
+                self.stream.flush()
+            self._write_heartbeat()
+            self.renders += 1
 
     def _write_heartbeat(self) -> None:
         if self._heartbeat_path is None:
@@ -277,22 +288,23 @@ class LiveMonitor:
                 "a", encoding="utf-8"
             )
         self._heartbeat_file.write(
-            json.dumps(self.snapshot(), sort_keys=True) + "\n"
+            json.dumps(self._snapshot_locked(), sort_keys=True) + "\n"
         )
         self._heartbeat_file.flush()
 
     def finish(self) -> None:
         """Terminate the status line and close the heartbeat file."""
-        if self._finished:
-            return
-        self._finished = True
-        if self.last is not None and self.stream is not None:
-            if self.stream.isatty():
-                self.stream.write("\n")
-            self.stream.flush()
-        if self._heartbeat_file is not None:
-            self._heartbeat_file.close()
-            self._heartbeat_file = None
+        with self._mutex:
+            if self._finished:
+                return
+            self._finished = True
+            if self.last is not None and self.stream is not None:
+                if self.stream.isatty():
+                    self.stream.write("\n")
+                self.stream.flush()
+            if self._heartbeat_file is not None:
+                self._heartbeat_file.close()
+                self._heartbeat_file = None
 
     def __enter__(self) -> "LiveMonitor":
         return self

@@ -370,6 +370,24 @@ class ObsSession:
         """Attach one campaign run's manifest to this session."""
         self.campaigns.append({"name": name, "manifest": manifest})
 
+    def counters_snapshot(self) -> Dict[str, Any]:
+        """The session's headline counters as one plain dict.
+
+        What the campaign service's ``/health`` endpoint reports for the
+        daemon's lifetime session: cache traffic, trials observed, and
+        campaign count — cheap enough to read on every poll.
+        """
+        looked_up = self.cache_hits + self.cache_misses
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (
+                round(self.cache_hits / looked_up, 4) if looked_up else 0.0
+            ),
+            "trials_observed": self._trial_index + 1,
+            "campaigns": len(self.campaigns),
+        }
+
     # ------------------------------------------------------------------
     # Worker round-trip (parallel trial execution)
     # ------------------------------------------------------------------

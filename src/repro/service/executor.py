@@ -1,0 +1,341 @@
+"""The drain loop: leased queue tasks -> warm pool -> banked results.
+
+One :class:`QueueExecutor` repeatedly leases a batch of cold trials from
+the backend, rebuilds each trial from its declarative payload (topology
+parameter block + explicit spec dict + seed), runs the batch on the
+process-wide warm :class:`~repro.core.parallel.WorkerPool` — which does
+digest-affinity chunk scheduling, so a batch of same-topology trials
+lands on workers already holding that topology — and banks every result
+the moment it streams back, exactly the parent-side-write discipline
+``run_campaign`` uses.  Folding banked trials therefore produces output
+bit-identical to :func:`repro.core.experiment.run_trials`.
+
+Any number of executor processes may drain one store: the lease
+transaction hands each task to exactly one of them, heartbeats keep
+long batches owned, and a crashed executor's leases expire so its tasks
+re-dispatch (see :mod:`repro.store.queue`).
+
+Before running, each task's content hash is recomputed from the
+rebuilt (topology, spec, seed) and compared to its queue key; a
+mismatch — wrong code version, corrupted payload — fails the task
+permanently rather than banking a result under a key it doesn't match.
+Trial failures retry with exponential backoff up to
+``max_attempts``, then park as ``failed`` for operators.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.experiment import Progress
+from repro.core.parallel import TrialTask, get_worker_pool
+from repro.specs.serialize import build_spec
+from repro.specs.topology import topology_factory
+from repro.store.hashing import spec_fingerprint, spec_hash
+from repro.store.queue import QueueTask
+
+from repro.service.backend import StoreBackend
+
+
+def default_owner() -> str:
+    """A lease-owner id unique per executor process."""
+    return (
+        f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+    )
+
+
+@dataclass
+class ExecutorConfig:
+    """Knobs of one drain loop (defaults suit the CI smoke scale)."""
+
+    #: Lease owner id; None -> a fresh :func:`default_owner`.
+    owner: Optional[str] = None
+    #: Worker-pool fan-out per batch (1 = run trials in-process).
+    jobs: int = 1
+    #: Max tasks leased per batch — also the graceful-drain bound: a
+    #: shutdown waits for at most one batch to finish.
+    batch_size: int = 16
+    #: How long a lease protects a claimed task.  Must comfortably
+    #: exceed one trial's wall time; heartbeats extend it while the
+    #: batch runs.
+    lease_seconds: float = 120.0
+    #: Idle sleep between polls that found an empty queue.
+    poll_interval: float = 0.25
+    #: Attempts before a task parks as terminally failed.
+    max_attempts: int = 3
+    #: First retry delay; doubles per subsequent attempt.
+    backoff_seconds: float = 2.0
+
+
+class QueueExecutor:
+    """Drains the durable queue through the warm worker pool.
+
+    ``obs`` (an :class:`~repro.obs.session.ObsSession`) rides along to
+    workers exactly as in ``run_campaign``; ``monitor`` (a
+    :class:`~repro.obs.live.LiveMonitor`) receives one progress tick per
+    completed/failed trial, which is what feeds the service's ETA
+    endpoint.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend,
+        config: Optional[ExecutorConfig] = None,
+        obs: Optional[Any] = None,
+        monitor: Optional[Any] = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config or ExecutorConfig()
+        if self.config.owner is None:
+            self.config.owner = default_owner()
+        self.obs = obs
+        self.monitor = monitor
+        self.started = time.perf_counter()
+        #: Lifetime counters (exposed via :meth:`telemetry`).
+        self.executed = 0
+        self.failed_attempts = 0
+        self.failed_terminal = 0
+        self.retried = 0
+        self.busy_seconds = 0.0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def _materialize(
+        self,
+        task: QueueTask,
+        topo_cache: Dict[Tuple[str, int], Any],
+    ) -> Tuple[Any, Any, Dict[str, Any]]:
+        """Rebuild (topology, spec, fingerprint) from a queue payload.
+
+        Raises ``ValueError`` when the recomputed content hash differs
+        from the queued key — the one failure the retry loop must treat
+        as permanent.
+        """
+        payload = task.payload
+        block = payload["topology"]
+        seed = int(payload["seed"])
+        cache_key = (json.dumps(block, sort_keys=True), seed)
+        topology = topo_cache.get(cache_key)
+        if topology is None:
+            topology = topology_factory(block)(seed)
+            topo_cache[cache_key] = topology
+        spec = build_spec(payload["scheme"], topology=topology)
+        key = spec_hash(spec, topology, seed)
+        if key != task.key:
+            raise ValueError(
+                f"payload rebuilds to hash {key[:12]}..., queued as "
+                f"{task.key[:12]}... (code/schema drift?)"
+            )
+        return topology, spec, spec_fingerprint(spec, topology, seed)
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def drain_once(
+        self, stop: Optional[threading.Event] = None
+    ) -> int:
+        """Lease and process one batch; returns how many tasks it took.
+
+        Zero means the queue had nothing runnable.  Results are banked
+        (and tasks completed/failed) one by one as they stream back, so
+        a crash mid-batch loses only in-flight trials — and even those
+        only until the lease expires.
+        """
+        cfg = self.config
+        batch = self.backend.lease_tasks(
+            cfg.owner, cfg.batch_size, cfg.lease_seconds
+        )
+        if not batch:
+            return 0
+        self.batches += 1
+        topo_cache: Dict[Tuple[str, int], Any] = {}
+        by_id: Dict[int, Tuple[QueueTask, Any, Any, Dict[str, Any]]] = {}
+        trial_tasks: List[TrialTask] = []
+        obs_config = (
+            self.obs.worker_args() if self.obs is not None else None
+        )
+        for task in batch:
+            try:
+                topology, spec, fingerprint = self._materialize(
+                    task, topo_cache
+                )
+            except Exception as exc:  # noqa: BLE001 - permanent failure
+                self.backend.fail_task(
+                    task.id, f"materialize: {type(exc).__name__}: {exc}"
+                )
+                self.failed_terminal += 1
+                continue
+            by_id[task.id] = (task, topology, spec, fingerprint)
+            trial_tasks.append(
+                TrialTask(
+                    index=task.id,
+                    topology=topology,
+                    spec=spec,
+                    seed=int(task.payload["seed"]),
+                    obs_config=obs_config,
+                )
+            )
+        if not trial_tasks:
+            return len(batch)
+
+        total_hint = self._total_hint(len(trial_tasks))
+        outstanding = set(by_id)
+        last_beat = time.monotonic()
+        beat_every = max(1.0, cfg.lease_seconds / 3.0)
+
+        def beat() -> None:
+            nonlocal last_beat
+            now = time.monotonic()
+            if outstanding and now - last_beat >= beat_every:
+                self.backend.heartbeat_tasks(
+                    cfg.owner, outstanding, cfg.lease_seconds
+                )
+                last_beat = now
+
+        if cfg.jobs > 1 and len(trial_tasks) > 1:
+            outcomes = get_worker_pool().run_guarded(
+                trial_tasks, jobs=cfg.jobs
+            )
+            for index, trial, payload, error in outcomes:
+                self._settle(
+                    by_id[index], trial, payload, error, total_hint
+                )
+                outstanding.discard(index)
+                beat()
+        else:
+            for trial_task in trial_tasks:
+                if stop is not None and stop.is_set():
+                    # Graceful drain: hand unexecuted tasks straight
+                    # back instead of making the next claimant wait out
+                    # our lease.
+                    released = self.backend.release_tasks(
+                        cfg.owner, outstanding
+                    )
+                    return len(batch) - released
+                index, trial, payload, error = _guarded(trial_task)
+                self._settle(
+                    by_id[index], trial, payload, error, total_hint
+                )
+                outstanding.discard(index)
+                beat()
+        return len(batch)
+
+    def drain(
+        self,
+        stop: Optional[threading.Event] = None,
+        idle_timeout: Optional[float] = None,
+    ) -> None:
+        """Poll/drain until ``stop`` is set (or the queue stays empty
+        for ``idle_timeout`` seconds, when one is given)."""
+        idle_since: Optional[float] = None
+        while stop is None or not stop.is_set():
+            took = self.drain_once(stop=stop)
+            if took:
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif (
+                idle_timeout is not None
+                and now - idle_since >= idle_timeout
+            ):
+                return
+            if stop is not None:
+                stop.wait(self.config.poll_interval)
+            else:
+                time.sleep(self.config.poll_interval)
+
+    # ------------------------------------------------------------------
+    def _total_hint(self, batch_len: int) -> int:
+        """A moving 'total' for progress ticks: work done + work known."""
+        counts = self.backend.queue_counts()
+        done_so_far = self.executed + self.failed_terminal
+        return done_so_far + batch_len + counts.get("pending", 0)
+
+    def _settle(
+        self,
+        entry: Tuple[QueueTask, Any, Any, Dict[str, Any]],
+        trial: Optional[Any],
+        payload: Optional[Dict[str, Any]],
+        error: Optional[str],
+        total_hint: int,
+    ) -> None:
+        """Bank one streamed outcome and advance the queue row."""
+        task, _topology, _spec, fingerprint = entry
+        cfg = self.config
+        if error is not None:
+            attempts_after = task.attempts + 1
+            if attempts_after >= cfg.max_attempts:
+                self.backend.fail_task(task.id, error)
+                self.failed_terminal += 1
+            else:
+                delay = cfg.backoff_seconds * (2 ** task.attempts)
+                self.backend.fail_task(
+                    task.id, error, retry_at=time.time() + delay
+                )
+                self.retried += 1
+            self.failed_attempts += 1
+        else:
+            # Parent-side write, durable the moment the trial lands —
+            # then the queue row flips, so a crash between the two
+            # re-runs a banked trial (idempotent) rather than losing one.
+            self.backend.put(task.key, trial, fingerprint=fingerprint)
+            self.backend.complete_task(task.id)
+            if payload is not None and self.obs is not None:
+                try:
+                    self.obs.absorb(payload)
+                except Exception:  # noqa: BLE001 - telemetry only
+                    pass
+            if self.obs is not None:
+                self.obs.note_cache(False)
+            self.executed += 1
+            self.busy_seconds += (
+                trial.warmup_wall + trial.convergence_wall
+            )
+        if self.monitor is not None:
+            self.monitor(
+                Progress(
+                    done=self.executed,
+                    total=max(total_hint, self.executed),
+                    elapsed=time.perf_counter() - self.started,
+                    label="service",
+                    busy_seconds=self.busy_seconds,
+                    failed=self.failed_terminal,
+                )
+            )
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Lifetime drain counters for ``/health`` and ``queue status``."""
+        return {
+            "owner": self.config.owner,
+            "jobs": self.config.jobs,
+            "executed": self.executed,
+            "failed_attempts": self.failed_attempts,
+            "failed_terminal": self.failed_terminal,
+            "retried": self.retried,
+            "busy_seconds": round(self.busy_seconds, 3),
+            "batches": self.batches,
+        }
+
+
+def _guarded(
+    task: TrialTask,
+) -> Tuple[int, Optional[Any], Optional[Dict[str, Any]], Optional[str]]:
+    """Serial one-task execution with the pool's guarded contract."""
+    from repro.core.parallel import execute_trial
+
+    try:
+        index, trial, payload = execute_trial(task)
+        return index, trial, payload, None
+    except Exception as exc:  # noqa: BLE001 - reported to the retry loop
+        return task.index, None, None, f"{type(exc).__name__}: {exc}"

@@ -12,7 +12,10 @@ running it again.  This package provides:
 * :mod:`repro.store.campaign` — :class:`Campaign`, a declarative sweep
   grid that runs incrementally against a store: cached trials are
   skipped, failures retried, interruptions resumed, and the folded
-  series equal an uncached run's.
+  series equal an uncached run's;
+* :mod:`repro.store.queue` — the durable work queue (lease/heartbeat/
+  retry rows in the same SQLite file) that the campaign service in
+  :mod:`repro.service` drains.
 """
 
 from repro.store.campaign import (
@@ -23,10 +26,12 @@ from repro.store.campaign import (
     CampaignTask,
     RetryPolicy,
     build_spec,
+    campaign_keys,
     campaign_status,
     load_campaign_results,
     run_campaign,
 )
+from repro.store.queue import QUEUE_STATES, QueueTask
 from repro.store.hashing import (
     SCHEMA_VERSION,
     canonical,
@@ -49,10 +54,13 @@ __all__ = [
     "CampaignResult",
     "CampaignStatus",
     "CampaignTask",
+    "QUEUE_STATES",
+    "QueueTask",
     "ResultStore",
     "RetryPolicy",
     "SCHEMA_VERSION",
     "build_spec",
+    "campaign_keys",
     "campaign_status",
     "canonical",
     "default_store",

@@ -79,6 +79,7 @@ __all__ = [
     "DISTRIBUTIONS",  # re-exported from repro.specs for compatibility
     "RetryPolicy",
     "build_spec",  # re-exported from repro.specs for compatibility
+    "campaign_keys",
     "campaign_status",
     "load_campaign_results",
     "run_campaign",
@@ -354,6 +355,19 @@ def _campaign_keys(
              topologies[task.seed])
             for task in campaign.tasks()
         ]
+
+
+def campaign_keys(
+    campaign: Campaign,
+) -> List[Tuple[CampaignTask, str, Topology]]:
+    """Public grid expansion: ``(task, content key, topology)`` triples.
+
+    The campaign service submission planner uses this to decide, per
+    trial, cache-hit vs enqueue — the same expansion ``run_campaign``
+    and ``campaign_status`` use internally, so all three always agree on
+    keys.
+    """
+    return _campaign_keys(campaign)
 
 
 def campaign_status(

@@ -6,13 +6,29 @@ plus provenance — which campaign/run wrote it, at which git revision,
 when, and how much wall clock the simulation cost (so a store can report
 how much compute it has banked).  A second table records one manifest
 row per campaign run, giving ``repro-bgp campaign status`` its history.
+The queue/ticket tables that turn a store into a campaign-service
+backend live in :mod:`repro.store.queue` and are mixed in here.
 
-Concurrency contract: **only the parent process writes**.  Worker
-processes return results over the pool pipe exactly as in
-:mod:`repro.core.parallel`; the parent stores them as they complete.
-WAL mode makes the single-writer/many-reader case safe and keeps each
-``put`` durable on its own commit, which is what makes a Ctrl-C'd sweep
-resumable — every finished trial is already on disk.
+Concurrency contract: **any number of processes and threads may share
+one store file**.  Simulation workers still never touch SQLite — they
+return results over the pool pipe exactly as in
+:mod:`repro.core.parallel` and their parent banks them — but several
+such parents (the service daemon, extra executor drainers, a CLI
+``campaign run``) may write the same file concurrently.  Three layers
+make that safe:
+
+* WAL mode, so readers never block the writer;
+* ``PRAGMA busy_timeout`` on every connection, so a write that meets a
+  competing write lock waits instead of failing instantly;
+* every database access goes through :meth:`ResultStore._read` /
+  :meth:`ResultStore._write`, which serialize threads within one handle
+  (the HTTP API threads and the executor thread share a handle) and
+  retry the whole operation on ``database is locked`` — the one case
+  ``busy_timeout`` cannot cover, an immediate SQLITE_BUSY when a read
+  transaction tries to upgrade to a write lock.
+
+Each ``put`` stays durable on its own commit, which is what makes a
+Ctrl-C'd sweep resumable — every finished trial is already on disk.
 """
 
 from __future__ import annotations
@@ -20,6 +36,8 @@ from __future__ import annotations
 import json
 import sqlite3
 import subprocess
+import threading
+import time
 import uuid
 from contextlib import contextmanager
 from dataclasses import fields as dataclass_fields
@@ -28,19 +46,24 @@ from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterator,
     List,
     Optional,
     Tuple,
+    TypeVar,
     Union,
 )
 
 from repro.obs.spans import span
 from repro.store.hashing import SCHEMA_VERSION
+from repro.store.queue import QUEUE_SCHEMA, QueueOps
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.experiment import TrialResult
+
+T = TypeVar("T")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -70,6 +93,12 @@ CREATE TABLE IF NOT EXISTS campaigns (
 
 _GIT_REV: Optional[str] = None
 _GIT_REV_PROBED = False
+
+#: How many times a locked write is retried before the error propagates.
+#: With busy_timeout already waiting out held locks, retries only fire on
+#: immediate-BUSY deadlock avoidance, so a handful suffice.
+_LOCK_RETRIES = 6
+_LOCK_BACKOFF = 0.05  # seconds, doubled per retry
 
 
 def git_revision() -> Optional[str]:
@@ -108,7 +137,12 @@ def trial_from_dict(data: Dict[str, Any]) -> "TrialResult":
     return TrialResult(**{k: v for k, v in data.items() if k in known})
 
 
-class ResultStore:
+def _is_locked_error(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "database is locked" in message or "database is busy" in message
+
+
+class ResultStore(QueueOps):
     """Trial-level result cache with provenance, on one SQLite file.
 
     >>> with ResultStore("results/store.db") as store:
@@ -118,39 +152,98 @@ class ResultStore:
     ``hits`` / ``misses`` count this object's :meth:`get` outcomes, so a
     driver can report the cache rate of the run it just performed
     (:meth:`has` and iteration never touch the counters).
+
+    One handle may be shared between threads (the service daemon shares
+    one between its HTTP handler threads and its executor loop); an
+    internal lock funnels all access, and locked-database errors from
+    *other processes'* writes are waited out and retried — see the
+    module docstring for the full concurrency contract.
     """
 
-    def __init__(self, path: Union[str, Path], timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        timeout: float = 30.0,
+        busy_timeout_ms: int = 10_000,
+    ) -> None:
         self.path = Path(path)
         if self.path.parent != Path(""):
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path), timeout=timeout)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=timeout, check_same_thread=False
+        )
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.executescript(_SCHEMA)
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        self._write(
+            lambda conn: conn.executescript(_SCHEMA + QUEUE_SCHEMA)
+        )
         self._check_schema()
         #: Identifies everything written by this store handle.
         self.run_id = uuid.uuid4().hex
         self.hits = 0
         self.misses = 0
 
+    # ------------------------------------------------------------------
+    # Locked, retrying access helpers — ALL database access funnels
+    # through these two.  ``fn`` receives the connection and may run any
+    # number of statements; ``_write`` commits on success and rolls back
+    # (then retries, for lock contention) on failure, so multi-statement
+    # operations like queue leases stay atomic.
+    # ------------------------------------------------------------------
+    def _read(self, fn: Callable[[sqlite3.Connection], T]) -> T:
+        with self._lock:
+            return fn(self._conn)
+
+    def _write(self, fn: Callable[[sqlite3.Connection], T]) -> T:
+        with self._lock:
+            delay = _LOCK_BACKOFF
+            for attempt in range(_LOCK_RETRIES):
+                try:
+                    result = fn(self._conn)
+                    self._conn.commit()
+                    return result
+                except sqlite3.OperationalError as exc:
+                    self._conn.rollback()
+                    if (
+                        not _is_locked_error(exc)
+                        or attempt == _LOCK_RETRIES - 1
+                    ):
+                        raise
+                    time.sleep(delay)
+                    delay *= 2
+                except BaseException:
+                    self._conn.rollback()
+                    raise
+            raise AssertionError("unreachable")  # pragma: no cover
+
+    def _now_utc(self) -> str:
+        return _now()
+
     def _check_schema(self) -> None:
-        row = self._conn.execute(
-            "SELECT value FROM meta WHERE key='schema_version'"
-        ).fetchone()
-        if row is None:
-            self._conn.execute(
-                "INSERT INTO meta (key, value) VALUES (?, ?)",
-                ("schema_version", str(SCHEMA_VERSION)),
-            )
-            self._conn.execute(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
-                ("created_utc", _now()),
-            )
-            self._conn.commit()
-        elif int(row[0]) != SCHEMA_VERSION:
+        def op(conn: sqlite3.Connection) -> Optional[str]:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("created_utc", _now()),
+                )
+                row = conn.execute(
+                    "SELECT value FROM meta WHERE key='schema_version'"
+                ).fetchone()
+            return row[0] if row else None
+
+        stored = self._write(op)
+        if stored is not None and int(stored) != SCHEMA_VERSION:
             raise ValueError(
-                f"{self.path}: store schema version {row[0]} does not match "
+                f"{self.path}: store schema version {stored} does not match "
                 f"this code's version {SCHEMA_VERSION}; use a fresh store "
                 f"(cached results would be invalid)"
             )
@@ -159,17 +252,23 @@ class ResultStore:
     # Trial rows
     # ------------------------------------------------------------------
     def has(self, key: str) -> bool:
-        row = self._conn.execute(
-            "SELECT 1 FROM trials WHERE key=?", (key,)
-        ).fetchone()
-        return row is not None
+        return (
+            self._read(
+                lambda conn: conn.execute(
+                    "SELECT 1 FROM trials WHERE key=?", (key,)
+                ).fetchone()
+            )
+            is not None
+        )
 
     def get(self, key: str) -> Optional["TrialResult"]:
         """The cached trial for ``key``, or None (counted hit/miss)."""
         with span("store.get") as s:
-            row = self._conn.execute(
-                "SELECT result FROM trials WHERE key=?", (key,)
-            ).fetchone()
+            row = self._read(
+                lambda conn: conn.execute(
+                    "SELECT result FROM trials WHERE key=?", (key,)
+                ).fetchone()
+            )
             if row is None:
                 self.misses += 1
                 s.set(hit=False)
@@ -186,8 +285,8 @@ class ResultStore:
     ) -> None:
         """Store (or overwrite) one trial; committed immediately.
 
-        Must only be called from the parent process — the single-writer
-        rule that keeps WAL simple and fold order deterministic.
+        Must only be called from a pool *parent* — simulation workers
+        never write, which keeps fold order deterministic.
         """
         with span("store.put"):
             self._put(key, trial, fingerprint)
@@ -198,36 +297,40 @@ class ResultStore:
         trial: "TrialResult",
         fingerprint: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO trials "
-            "(key, seed, result, fingerprint, run_id, git_rev, "
-            " schema_version, created_utc, wall_seconds) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                key,
-                trial.seed,
-                json.dumps(trial_to_dict(trial), sort_keys=True),
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "INSERT OR REPLACE INTO trials "
+                "(key, seed, result, fingerprint, run_id, git_rev, "
+                " schema_version, created_utc, wall_seconds) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
-                    json.dumps(fingerprint, sort_keys=True)
-                    if fingerprint is not None
-                    else None
+                    key,
+                    trial.seed,
+                    json.dumps(trial_to_dict(trial), sort_keys=True),
+                    (
+                        json.dumps(fingerprint, sort_keys=True)
+                        if fingerprint is not None
+                        else None
+                    ),
+                    self.run_id,
+                    git_revision(),
+                    SCHEMA_VERSION,
+                    _now(),
+                    trial.warmup_wall + trial.convergence_wall,
                 ),
-                self.run_id,
-                git_revision(),
-                SCHEMA_VERSION,
-                _now(),
-                trial.warmup_wall + trial.convergence_wall,
-            ),
-        )
-        self._conn.commit()
+            )
+
+        self._write(op)
 
     def provenance(self, key: str) -> Optional[Dict[str, Any]]:
         """Who wrote a trial, when, at which revision (None if absent)."""
-        row = self._conn.execute(
-            "SELECT seed, run_id, git_rev, schema_version, created_utc, "
-            "wall_seconds, fingerprint FROM trials WHERE key=?",
-            (key,),
-        ).fetchone()
+        row = self._read(
+            lambda conn: conn.execute(
+                "SELECT seed, run_id, git_rev, schema_version, created_utc, "
+                "wall_seconds, fingerprint FROM trials WHERE key=?",
+                (key,),
+            ).fetchone()
+        )
         if row is None:
             return None
         return {
@@ -242,62 +345,131 @@ class ResultStore:
 
     def iter_trials(self) -> Iterator[Tuple[str, "TrialResult"]]:
         """Every stored (key, trial), in key order."""
-        cursor = self._conn.execute(
-            "SELECT key, result FROM trials ORDER BY key"
+        rows = self._read(
+            lambda conn: conn.execute(
+                "SELECT key, result FROM trials ORDER BY key"
+            ).fetchall()
         )
-        for key, payload in cursor:
+        for key, payload in rows:
             yield key, trial_from_dict(json.loads(payload))
 
     def __len__(self) -> int:
-        row = self._conn.execute("SELECT COUNT(*) FROM trials").fetchone()
-        return int(row[0])
+        return int(
+            self._read(
+                lambda conn: conn.execute(
+                    "SELECT COUNT(*) FROM trials"
+                ).fetchone()[0]
+            )
+        )
 
     def __contains__(self, key: str) -> bool:
         return self.has(key)
 
     def banked_wall_seconds(self) -> float:
         """Total simulation wall clock the stored trials represent."""
-        row = self._conn.execute(
-            "SELECT COALESCE(SUM(wall_seconds), 0) FROM trials"
-        ).fetchone()
-        return float(row[0])
+        return float(
+            self._read(
+                lambda conn: conn.execute(
+                    "SELECT COALESCE(SUM(wall_seconds), 0) FROM trials"
+                ).fetchone()[0]
+            )
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Operator-facing snapshot: sizes, banked compute, queue depth.
+
+        Everything ``repro-bgp store stats`` and the service ``/health``
+        endpoint report, in one read.
+        """
+
+        def op(conn: sqlite3.Connection) -> Dict[str, Any]:
+            trials = int(
+                conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
+            )
+            banked = float(
+                conn.execute(
+                    "SELECT COALESCE(SUM(wall_seconds), 0) FROM trials"
+                ).fetchone()[0]
+            )
+            campaigns = int(
+                conn.execute("SELECT COUNT(*) FROM campaigns").fetchone()[0]
+            )
+            tickets = int(
+                conn.execute("SELECT COUNT(*) FROM tickets").fetchone()[0]
+            )
+            queue = {
+                state: 0
+                for state in ("pending", "running", "done", "failed")
+            }
+            for state, count in conn.execute(
+                "SELECT state, COUNT(*) FROM queue GROUP BY state"
+            ):
+                queue[state] = int(count)
+            return {
+                "trials": trials,
+                "banked_wall_seconds": banked,
+                "campaigns": campaigns,
+                "tickets": tickets,
+                "queue": queue,
+            }
+
+        stats = self._read(op)
+        stats["path"] = str(self.path)
+        stats["schema_version"] = SCHEMA_VERSION
+        try:
+            size = self.path.stat().st_size
+            for suffix in ("-wal", "-shm"):
+                sidecar = self.path.with_name(self.path.name + suffix)
+                if sidecar.exists():
+                    size += sidecar.stat().st_size
+        except OSError:
+            size = 0
+        stats["db_bytes"] = size
+        return stats
 
     # ------------------------------------------------------------------
     # Campaign manifests
     # ------------------------------------------------------------------
     def record_campaign(self, name: str, manifest: Dict[str, Any]) -> int:
         """Append one campaign-run manifest row; returns its id."""
-        cursor = self._conn.execute(
-            "INSERT INTO campaigns "
-            "(name, run_id, git_rev, created_utc, manifest) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (
-                name,
-                self.run_id,
-                git_revision(),
-                _now(),
-                json.dumps(manifest, sort_keys=True),
-            ),
-        )
-        self._conn.commit()
-        return int(cursor.lastrowid)
+
+        def op(conn: sqlite3.Connection) -> int:
+            cursor = conn.execute(
+                "INSERT INTO campaigns "
+                "(name, run_id, git_rev, created_utc, manifest) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    name,
+                    self.run_id,
+                    git_revision(),
+                    _now(),
+                    json.dumps(manifest, sort_keys=True),
+                ),
+            )
+            return int(cursor.lastrowid)
+
+        return self._write(op)
 
     def iter_campaigns(
         self, name: Optional[str] = None
     ) -> Iterator[Dict[str, Any]]:
         """Recorded campaign runs, oldest first (optionally by name)."""
         if name is None:
-            cursor = self._conn.execute(
-                "SELECT id, name, run_id, git_rev, created_utc, manifest "
-                "FROM campaigns ORDER BY id"
+            rows = self._read(
+                lambda conn: conn.execute(
+                    "SELECT id, name, run_id, git_rev, created_utc, manifest "
+                    "FROM campaigns ORDER BY id"
+                ).fetchall()
             )
         else:
-            cursor = self._conn.execute(
-                "SELECT id, name, run_id, git_rev, created_utc, manifest "
-                "FROM campaigns WHERE name=? ORDER BY id",
-                (name,),
+            rows = self._read(
+                lambda conn: conn.execute(
+                    "SELECT id, name, run_id, git_rev, created_utc, manifest "
+                    "FROM campaigns WHERE name=? ORDER BY id",
+                    (name,),
+                ).fetchall()
             )
-        for row in cursor:
+        for row in rows:
             yield {
                 "id": row[0],
                 "name": row[1],
@@ -309,7 +481,8 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ResultStore":
         return self

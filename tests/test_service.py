@@ -1,0 +1,387 @@
+"""Tests for the campaign service (repro.service).
+
+Headline properties: a submission splits into cache hits and queued
+cold trials whose keys agree with the batch runner's; the executor
+drains the queue through the standard trial path and banks results
+bit-identical to :func:`run_trials`; trial failures retry with backoff
+and park after ``max_attempts``; payload/key drift fails permanently;
+and the daemon serves the whole cycle over HTTP — cold submit, poll,
+fold, then a warm resubmit answered entirely from the store.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.experiment import run_trials
+from repro.service import (
+    CampaignService,
+    ExecutorConfig,
+    QueueExecutor,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    plan_submission,
+    submission_campaign,
+    ticket_results,
+    ticket_status,
+)
+from repro.store import (
+    Campaign,
+    ResultStore,
+    campaign_keys,
+    load_campaign_results,
+    run_campaign,
+)
+
+CAMPAIGN = {
+    "name": "svc",
+    "topology": {"kind": "skewed", "nodes": 24, "distribution": "70-30"},
+    "schemes": {
+        "fifo-0.5": {"mrai": 0.5},
+        "dynamic": {"mrai_scheme": "dynamic", "levels": [0.5, 1.25, 2.25]},
+    },
+    "axis": {"name": "failure_fraction", "values": [0.1]},
+    "seeds": [1, 2],
+}
+
+
+def make_campaign(**overrides):
+    data = dict(CAMPAIGN)
+    data.update(overrides)
+    return Campaign.from_dict(data)
+
+
+def small_campaign(seeds=None):
+    """One scheme, one axis value: one trial per seed."""
+    overrides = {"schemes": {"fifo-0.5": {"mrai": 0.5}}}
+    if seeds is not None:
+        overrides["seeds"] = seeds
+    return make_campaign(**overrides)
+
+
+def folded_signature(series_list):
+    """Hashable fold of Series objects (in-process results)."""
+    return sorted(
+        (
+            s.label,
+            tuple(
+                (p.x, p.delay, p.messages, p.unreachable)
+                for p in s.points
+            ),
+        )
+        for s in series_list
+    )
+
+
+def json_signature(series_payload):
+    """The same fold from the service's JSON ``/result`` payload."""
+    return sorted(
+        (
+            s["label"],
+            tuple(
+                (p["x"], p["delay"], p["messages"], p["unreachable"])
+                for p in s["points"]
+            ),
+        )
+        for s in series_payload
+    )
+
+
+def drain_fully(executor):
+    while executor.drain_once():
+        pass
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ResultStore(tmp_path / "store.db") as s:
+        yield s
+
+
+# ----------------------------------------------------------------------
+# Submission normalization
+# ----------------------------------------------------------------------
+def test_submission_campaign_parses_grid():
+    campaign = submission_campaign(CAMPAIGN)
+    assert campaign.name == "svc"
+    assert campaign.total_trials == 4
+
+
+def test_single_spec_wraps_into_equivalent_campaign_cell():
+    data = {
+        "topology": dict(CAMPAIGN["topology"]),
+        "scheme": {"mrai": 0.5, "failure_fraction": 0.2},
+        "seed": 3,
+    }
+    wrapped = submission_campaign(data)
+    assert wrapped.values == [0.2]
+    assert wrapped.seeds == [3]
+    grid = make_campaign(
+        schemes={"spec": {"mrai": 0.5, "failure_fraction": 0.2}},
+        axis={"name": "failure_fraction", "values": [0.2]},
+        seeds=[3],
+        name="adhoc",
+    )
+    [(_, wrapped_key, _t)] = campaign_keys(wrapped)
+    [(_, grid_key, _t)] = campaign_keys(grid)
+    assert wrapped_key == grid_key
+
+
+def test_single_spec_defaults_failure_fraction():
+    campaign = submission_campaign(
+        {
+            "topology": dict(CAMPAIGN["topology"]),
+            "scheme": {"mrai": 0.5},
+            "seeds": [1, 2],
+        }
+    )
+    assert campaign.values == [0.05]
+    assert campaign.total_trials == 2
+
+
+@pytest.mark.parametrize(
+    "body, match",
+    [
+        ({}, "must carry either"),
+        ({"scheme": {"mrai": 0.5}}, "requires 'topology'"),
+        (
+            {
+                "scheme": {"mrai": 0.5},
+                "topology": {"kind": "skewed", "nodes": 24},
+            },
+            "requires 'seed'",
+        ),
+    ],
+)
+def test_submission_validation(body, match):
+    with pytest.raises(ValueError, match=match):
+        submission_campaign(body)
+
+
+# ----------------------------------------------------------------------
+# Planning: cache hits vs queued cold trials
+# ----------------------------------------------------------------------
+def test_plan_submission_cold_then_duplicate(store):
+    campaign = make_campaign()
+    first = plan_submission(campaign, store)
+    assert (first.total, first.cached, first.enqueued) == (4, 0, 4)
+    assert not first.complete
+    assert store.queue_counts()["pending"] == 4
+    # An identical submission while the first is open queues nothing.
+    second = plan_submission(campaign, store)
+    assert (second.enqueued, second.deduplicated) == (0, 4)
+    assert second.ticket != first.ticket
+    assert store.ticket_info(first.ticket)["keys"] == first.keys
+
+
+def test_ticket_status_tracks_queue_and_store(store):
+    campaign = small_campaign()
+    receipt = plan_submission(campaign, store)
+    assert ticket_status(receipt.ticket, store)["state"] == "pending"
+
+    [task] = store.lease_tasks("w", 1, lease_seconds=30)
+    status = ticket_status(receipt.ticket, store)
+    assert (status["running"], status["pending"]) == (1, 1)
+    assert status["state"] == "running"
+
+    store.fail_task(task.id, "boom")  # terminal
+    status = ticket_status(receipt.ticket, store)
+    assert status["state"] == "failed"
+    assert status["failures"][0]["error"] == "boom"
+
+    with pytest.raises(KeyError):
+        ticket_status("nope", store)
+
+
+def test_ticket_results_gates_on_completion(store):
+    receipt = plan_submission(small_campaign(), store)
+    with pytest.raises(KeyError):
+        ticket_results("nope", store)
+    with pytest.raises(ValueError, match="missing"):
+        ticket_results(receipt.ticket, store)
+
+
+# ----------------------------------------------------------------------
+# Executor: drain, bank, retry
+# ----------------------------------------------------------------------
+def test_executor_banks_bit_identical_to_run_trials(store):
+    campaign = small_campaign()
+    receipt = plan_submission(campaign, store)
+    executor = QueueExecutor(
+        store, ExecutorConfig(jobs=1, batch_size=8)
+    )
+    drain_fully(executor)
+    assert executor.executed == receipt.total == 2
+    assert ticket_status(receipt.ticket, store)["state"] == "done"
+
+    # The exact trials run_trials would produce for the same cell.
+    keyed = campaign_keys(campaign)
+    serial = run_trials(
+        campaign.topology_factory(), keyed[0][0].spec, campaign.seeds
+    )
+    by_seed = {t.seed: t for t in serial.trials}
+    for task, key, _topology in keyed:
+        assert store.get(key) == by_seed[task.seed]
+
+    folded = ticket_results(receipt.ticket, store)
+    assert json_signature(folded["series"]) == folded_signature(
+        load_campaign_results(campaign, store)[0]
+    )
+
+
+def test_executor_retries_with_backoff_then_succeeds(store, monkeypatch):
+    import repro.service.executor as executor_mod
+
+    receipt = plan_submission(small_campaign(), store)
+    real = executor_mod._guarded
+    calls = {"n": 0}
+
+    def flaky(task):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            return task.index, None, None, "RuntimeError: injected"
+        return real(task)
+
+    monkeypatch.setattr(executor_mod, "_guarded", flaky)
+    executor = QueueExecutor(
+        store,
+        ExecutorConfig(
+            jobs=1, batch_size=8, max_attempts=3, backoff_seconds=0.0
+        ),
+    )
+    drain_fully(executor)
+    assert executor.retried == 1
+    assert executor.failed_attempts == 1
+    assert executor.executed == 2
+    assert executor.failed_terminal == 0
+    assert ticket_status(receipt.ticket, store)["state"] == "done"
+
+
+def test_executor_parks_task_after_max_attempts(store, monkeypatch):
+    import repro.service.executor as executor_mod
+
+    receipt = plan_submission(
+        small_campaign(), store
+    )
+
+    def always_fails(task):
+        return task.index, None, None, "RuntimeError: injected"
+
+    monkeypatch.setattr(executor_mod, "_guarded", always_fails)
+    executor = QueueExecutor(
+        store,
+        ExecutorConfig(
+            jobs=1, batch_size=8, max_attempts=2, backoff_seconds=0.0
+        ),
+    )
+    drain_fully(executor)
+    assert executor.executed == 0
+    assert executor.failed_terminal == 2
+    assert store.queue_counts()["failed"] == 2
+    status = ticket_status(receipt.ticket, store)
+    assert status["state"] == "failed"
+    assert all(
+        f["error"] == "RuntimeError: injected" for f in status["failures"]
+    )
+
+
+def test_executor_fails_permanently_on_key_drift(store):
+    receipt = plan_submission(
+        small_campaign(seeds=[1]), store
+    )
+    # Corrupt the queued payload so it rebuilds to a different hash.
+    conn = sqlite3.connect(str(store.path))
+    [(raw,)] = conn.execute("SELECT payload FROM queue").fetchall()
+    payload = json.loads(raw)
+    payload["seed"] = payload["seed"] + 1
+    conn.execute("UPDATE queue SET payload=?", (json.dumps(payload),))
+    conn.commit()
+    conn.close()
+
+    executor = QueueExecutor(store, ExecutorConfig(jobs=1))
+    drain_fully(executor)
+    assert executor.executed == 0
+    assert executor.failed_terminal == 1
+    status = ticket_status(receipt.ticket, store)
+    assert status["state"] == "failed"
+    assert "materialize" in status["failures"][0]["error"]
+
+
+# ----------------------------------------------------------------------
+# Daemon over HTTP
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(
+        store=str(tmp_path / "svc.db"),
+        port=0,
+        jobs=1,
+        batch_size=8,
+        poll_interval=0.05,
+        quiet=True,
+    )
+    svc = CampaignService(config)
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+def test_service_cold_then_warm_over_http(service):
+    client = ServiceClient(f"http://127.0.0.1:{service.port}")
+    assert client.health()["status"] == "ok"
+
+    receipt = client.submit(CAMPAIGN)
+    assert (receipt["total"], receipt["enqueued"]) == (4, 4)
+    assert not receipt["complete"]
+    client.wait(receipt["ticket"], timeout=120.0, poll_interval=0.05)
+
+    folded = client.result(receipt["ticket"])
+    assert {s["label"] for s in folded["series"]} == {
+        "fifo-0.5",
+        "dynamic",
+    }
+
+    # Warm resubmission: answered entirely from the store.
+    again = client.submit(CAMPAIGN)
+    assert again["complete"]
+    assert (again["cached"], again["enqueued"]) == (4, 0)
+    assert client.result(again["ticket"])["series"] == folded["series"]
+    assert client.queue_status()["executor"]["executed"] == 4
+
+    # Matches a from-scratch serial fold of the same campaign.
+    serial_sig = folded_signature(
+        load_campaign_results(make_campaign(), service.backend)[0]
+    )
+    assert json_signature(folded["series"]) == serial_sig
+
+    # Single banked trial with provenance, by content key.
+    key = receipt["keys"][0]
+    trial = client.trial(key)
+    assert trial["trial"]["seed"] in CAMPAIGN["seeds"]
+    assert trial["provenance"]["schema_version"] >= 2
+
+
+def test_service_http_error_mapping(service):
+    client = ServiceClient(f"http://127.0.0.1:{service.port}")
+    with pytest.raises(ServiceError) as err:
+        client.status("not-a-ticket")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.submit({"bogus": True})
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.trial("0" * 32)
+    assert err.value.status == 404
+
+
+def test_service_rejects_submissions_while_draining(service):
+    client = ServiceClient(f"http://127.0.0.1:{service.port}")
+    service.request_shutdown()
+    with pytest.raises(ServiceError) as err:
+        client.submit(CAMPAIGN)
+    assert err.value.status == 503
+    assert client.health()["status"] == "draining"
